@@ -1,0 +1,28 @@
+//! # reach-accel — reconfigurable accelerator models
+//!
+//! The compute engines of the ReACH hierarchy:
+//!
+//! * [`fpga`] — FPGA parts (resource vectors for the Virtex UltraScale+
+//!   VU9P used on-chip and the Zynq UltraScale+ ZU9EG used near memory and
+//!   near storage) and utilization checking.
+//! * [`kernel`] — kernel specifications: the frequency, utilization and
+//!   power numbers of the paper's Table III, plus the MAC-rate timing model
+//!   derived from them.
+//! * [`instance`] — accelerator instances: a loaded kernel, a busy-until
+//!   calendar, partial-reconfiguration delay, and the busy-time statistics
+//!   the energy model bills.
+//! * [`templates`] — the accelerator template registry the ReACH runtime
+//!   library resolves `RegisterAcc("VGG16-VU9P", …)`-style names against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fpga;
+pub mod instance;
+pub mod kernel;
+pub mod templates;
+
+pub use fpga::{FpgaPart, Resources, Utilization};
+pub use instance::{Accelerator, AcceleratorId};
+pub use kernel::{ComputeLevel, KernelClass, KernelSpec};
+pub use templates::TemplateRegistry;

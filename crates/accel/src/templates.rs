@@ -1,0 +1,283 @@
+//! The accelerator template registry — the paper's Table III in code.
+//!
+//! "Once a compute kernel is carefully designed and generated for a specific
+//! compute level, the FPGA bitstream alongside a kernel-specific driver and
+//! data flow graph would be stored as an accelerator template" (Section
+//! III-A). The registry resolves template names such as `"VGG16-VU9P"` or
+//! `"KNN-ZCU9"` to [`KernelSpec`]s.
+//!
+//! ## Where the numbers come from
+//!
+//! Frequency, utilization and power are copied verbatim from Table III. Two
+//! parameters the paper read out of HLS synthesis reports are reconstructed:
+//!
+//! * `mac_efficiency` — useful MACs per occupied DSP per cycle. CNN and GEMM
+//!   systolic arrays sustain 0.85 and 0.80 respectively; these values land
+//!   the single-instance on-chip/embedded CNN speed ratio inside the 7–10x
+//!   the paper reports.
+//! * `io_bytes_per_cycle` — streaming datapath width. The embedded KNN
+//!   kernel's narrow 10 B/cycle datapath (1.5 GB/s at 150 MHz) is what lets
+//!   near-storage rerank scale per-SSD instead of saturating a shared link,
+//!   while the wide GEMM datapaths keep short-list retrieval
+//!   bandwidth-bound at every level.
+
+use crate::fpga::{FpgaPart, Utilization};
+use crate::kernel::{ComputeLevel, KernelClass, KernelSpec};
+use reach_sim::Frequency;
+
+/// A registry of pre-optimized accelerator templates.
+///
+/// # Example
+///
+/// ```
+/// use reach_accel::{TemplateRegistry, ComputeLevel};
+///
+/// let reg = TemplateRegistry::paper_table3();
+/// let knn = reg.resolve("KNN-ZCU9", ComputeLevel::NearStorage).unwrap();
+/// assert_eq!(knn.power_w, 2.4); // the near-storage power variant
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TemplateRegistry {
+    specs: Vec<KernelSpec>,
+}
+
+impl TemplateRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The nine kernels of the paper's Table III: CNN / GeMM / KNN on the
+    /// Virtex UltraScale+ VU9P (on-chip) and on the Zynq UltraScale+ ZU9EG
+    /// in both its near-memory and near-storage power variants.
+    #[must_use]
+    pub fn paper_table3() -> Self {
+        let vu9p = FpgaPart::vu9p();
+        let zu9 = FpgaPart::zu9eg();
+        let mut reg = Self::new();
+
+        // --- On-chip (Virtex UltraScale+ XCVU9P) ---
+        reg.register(KernelSpec {
+            name: "VGG16-VU9P",
+            class: KernelClass::Cnn,
+            part: vu9p,
+            level: ComputeLevel::OnChip,
+            frequency: Frequency::from_mhz(273),
+            utilization: Utilization::new(36, 81, 78, 42),
+            power_w: 25.0,
+            mac_efficiency: 0.85,
+            pipeline_depth: 128,
+            io_bytes_per_cycle: 0.0,
+        });
+        reg.register(KernelSpec {
+            name: "GEMM-VU9P",
+            class: KernelClass::Gemm,
+            part: vu9p,
+            level: ComputeLevel::OnChip,
+            frequency: Frequency::from_mhz(273),
+            utilization: Utilization::new(24, 27, 56, 77),
+            power_w: 22.13,
+            mac_efficiency: 0.80,
+            pipeline_depth: 96,
+            io_bytes_per_cycle: 128.0,
+        });
+        reg.register(KernelSpec {
+            name: "KNN-VU9P",
+            class: KernelClass::Knn,
+            part: vu9p,
+            level: ComputeLevel::OnChip,
+            frequency: Frequency::from_mhz(200),
+            utilization: Utilization::new(10, 10, 10, 22),
+            power_w: 11.14,
+            mac_efficiency: 0.5,
+            pipeline_depth: 64,
+            io_bytes_per_cycle: 7.25,
+        });
+
+        // --- Embedded (Zynq UltraScale+ ZU9EG), near-memory variants ---
+        for (level, cnn_w, gemm_w, knn_w) in [
+            (ComputeLevel::NearMemory, 5.19, 5.3, 1.8),
+            (ComputeLevel::NearStorage, 6.13, 8.0, 2.4),
+        ] {
+            reg.register(KernelSpec {
+                name: "VGG16-ZCU9",
+                class: KernelClass::Cnn,
+                part: zu9,
+                level,
+                frequency: Frequency::from_mhz(200),
+                utilization: Utilization::new(11, 31, 38, 36),
+                power_w: cnn_w,
+                mac_efficiency: 0.85,
+                pipeline_depth: 128,
+                io_bytes_per_cycle: 0.0,
+            });
+            reg.register(KernelSpec {
+                name: "GEMM-ZCU9",
+                class: KernelClass::Gemm,
+                part: zu9,
+                level,
+                frequency: Frequency::from_mhz(150),
+                utilization: Utilization::new(36, 27, 76, 92),
+                power_w: gemm_w,
+                mac_efficiency: 0.80,
+                pipeline_depth: 96,
+                io_bytes_per_cycle: 128.0,
+            });
+            reg.register(KernelSpec {
+                name: "KNN-ZCU9",
+                class: KernelClass::Knn,
+                part: zu9,
+                level,
+                frequency: Frequency::from_mhz(150),
+                utilization: Utilization::new(23, 20, 30, 22),
+                power_w: knn_w,
+                mac_efficiency: 0.5,
+                pipeline_depth: 64,
+                io_bytes_per_cycle: 10.0,
+            });
+        }
+        reg
+    }
+
+    /// Adds a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template with the same name *and* level already exists,
+    /// or if the kernel does not fit its part.
+    pub fn register(&mut self, spec: KernelSpec) {
+        assert!(
+            spec.part.fits(spec.utilization),
+            "TemplateRegistry: {} does not fit {}",
+            spec.name,
+            spec.part
+        );
+        assert!(
+            !self
+                .specs
+                .iter()
+                .any(|s| s.name == spec.name && s.level == spec.level),
+            "TemplateRegistry: duplicate template {} at {}",
+            spec.name,
+            spec.level
+        );
+        self.specs.push(spec);
+    }
+
+    /// Looks a template up by name alone; `None` when absent *or ambiguous*
+    /// (Zynq templates exist in two level variants — use [`Self::resolve`]).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&KernelSpec> {
+        let mut found = self.specs.iter().filter(|s| s.name == name);
+        let first = found.next()?;
+        if found.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Looks a template up by name and target level — the lookup
+    /// `RegisterAcc(template, level)` performs.
+    #[must_use]
+    pub fn resolve(&self, name: &str, level: ComputeLevel) -> Option<&KernelSpec> {
+        self.specs
+            .iter()
+            .find(|s| s.name == name && s.level == level)
+    }
+
+    /// Iterates over every registered template.
+    pub fn iter(&self) -> impl Iterator<Item = &KernelSpec> {
+        self.specs.iter()
+    }
+
+    /// Number of registered templates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when no templates are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_nine_kernels() {
+        let reg = TemplateRegistry::paper_table3();
+        assert_eq!(reg.len(), 9);
+    }
+
+    #[test]
+    fn unique_names_resolve_directly() {
+        let reg = TemplateRegistry::paper_table3();
+        assert!(reg.get("VGG16-VU9P").is_some());
+        assert!(reg.get("GEMM-VU9P").is_some());
+        assert!(reg.get("KNN-VU9P").is_some());
+        // Zynq names are ambiguous by name alone.
+        assert!(reg.get("KNN-ZCU9").is_none());
+        assert!(reg.get("NOPE").is_none());
+    }
+
+    #[test]
+    fn zynq_power_variants_differ_by_level() {
+        let reg = TemplateRegistry::paper_table3();
+        let nm = reg.resolve("GEMM-ZCU9", ComputeLevel::NearMemory).unwrap();
+        let ns = reg.resolve("GEMM-ZCU9", ComputeLevel::NearStorage).unwrap();
+        assert_eq!(nm.power_w, 5.3);
+        assert_eq!(ns.power_w, 8.0);
+    }
+
+    #[test]
+    fn onchip_cnn_rate_supports_100ms_batch() {
+        // Calibration anchor: a 16-image VGG-16 batch (~124 GMACs) should
+        // take ~100 ms on the on-chip CNN.
+        let reg = TemplateRegistry::paper_table3();
+        let cnn = reg.get("VGG16-VU9P").unwrap();
+        let t = cnn.compute_time(16 * 7_750_000_000).as_ms_f64();
+        assert!((t - 100.0).abs() < 10.0, "batch time {t} ms");
+    }
+
+    #[test]
+    fn embedded_knn_datapath_is_1_5_gbps() {
+        let reg = TemplateRegistry::paper_table3();
+        let knn = reg.resolve("KNN-ZCU9", ComputeLevel::NearStorage).unwrap();
+        let rate = knn.io_rate_bytes_per_sec().unwrap();
+        assert!((rate - 1.5e9).abs() < 1e6, "rate {rate}");
+    }
+
+    #[test]
+    fn embedded_gemm_keeps_up_with_dimm_bandwidth() {
+        // The NM GEMM datapath must exceed the ~18 GB/s local DIMM rate so
+        // short-list retrieval stays bandwidth-bound, as in the paper.
+        let reg = TemplateRegistry::paper_table3();
+        let gemm = reg.resolve("GEMM-ZCU9", ComputeLevel::NearMemory).unwrap();
+        assert!(gemm.io_rate_bytes_per_sec().unwrap() > 18.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate template")]
+    fn duplicate_registration_rejected() {
+        let mut reg = TemplateRegistry::paper_table3();
+        let spec = reg.get("VGG16-VU9P").unwrap().clone();
+        reg.register(spec);
+    }
+
+    #[test]
+    fn iteration_covers_all_levels() {
+        let reg = TemplateRegistry::paper_table3();
+        for level in ComputeLevel::ALL {
+            assert!(
+                reg.iter().any(|s| s.level == level),
+                "missing level {level}"
+            );
+        }
+    }
+}

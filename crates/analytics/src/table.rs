@@ -1,0 +1,286 @@
+//! A tiny functional columnar engine.
+//!
+//! Enough of a database to make the analytics case study *checkable*:
+//! integer columns, comparison predicates, filter, sum/count/min/max
+//! aggregation, and an equi hash join. The timed experiments use the same
+//! query shapes with billion-row geometry.
+
+use std::collections::HashMap;
+
+/// A columnar table of `i64` columns.
+///
+/// # Example
+///
+/// ```
+/// use reach_analytics::{Aggregate, Predicate, Table};
+///
+/// let mut t = Table::new(&["id", "amount"]);
+/// t.push(&[1, 250]);
+/// t.push(&[2, 75]);
+/// let big = t.filter("amount", Predicate::AtLeast(100));
+/// assert_eq!(t.aggregate("amount", &big, Aggregate::Sum), 250);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    names: Vec<String>,
+    columns: Vec<Vec<i64>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names.
+    #[must_use]
+    pub fn new(names: &[&str]) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in names {
+            assert!(seen.insert(*n), "Table: duplicate column '{n}'");
+        }
+        Table {
+            names: names.iter().map(ToString::to_string).collect(),
+            columns: vec![Vec::new(); names.len()],
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the schema.
+    pub fn push(&mut self, row: &[i64]) {
+        assert_eq!(row.len(), self.columns.len(), "Table::push: wrong arity");
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(*v);
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Column index by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist.
+    #[must_use]
+    pub fn column(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("Table: no column '{name}'"))
+    }
+
+    /// Borrow a column's values.
+    #[must_use]
+    pub fn values(&self, col: usize) -> &[i64] {
+        &self.columns[col]
+    }
+
+    /// Row-wise bytes (8 B per column) — what a scan streams.
+    #[must_use]
+    pub fn row_bytes(&self) -> u64 {
+        self.columns.len() as u64 * 8
+    }
+
+    /// Filters rows by `pred` on the named column, returning the surviving
+    /// row indices.
+    #[must_use]
+    pub fn filter(&self, column: &str, pred: Predicate) -> Vec<usize> {
+        let c = self.column(column);
+        self.columns[c]
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| pred.eval(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Aggregates the named column over the given row set.
+    #[must_use]
+    pub fn aggregate(&self, column: &str, rows: &[usize], agg: Aggregate) -> i64 {
+        let c = self.column(column);
+        let vals = rows.iter().map(|&i| self.columns[c][i]);
+        match agg {
+            Aggregate::Count => rows.len() as i64,
+            Aggregate::Sum => vals.sum(),
+            Aggregate::Min => vals.min().unwrap_or(i64::MAX),
+            Aggregate::Max => vals.max().unwrap_or(i64::MIN),
+        }
+    }
+
+    /// Equi hash join: returns `(left_row, right_row)` index pairs where
+    /// `self[left_on] == right[right_on]`, building on the smaller side.
+    #[must_use]
+    pub fn hash_join(&self, left_on: &str, right: &Table, right_on: &str) -> Vec<(usize, usize)> {
+        let lc = self.column(left_on);
+        let rc = right.column(right_on);
+        // Build on the smaller input, probe with the larger.
+        let (build_vals, probe_vals, swapped) = if self.rows() <= right.rows() {
+            (&self.columns[lc], &right.columns[rc], false)
+        } else {
+            (&right.columns[rc], &self.columns[lc], true)
+        };
+        let mut ht: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, &v) in build_vals.iter().enumerate() {
+            ht.entry(v).or_default().push(i);
+        }
+        let mut out = Vec::new();
+        for (j, v) in probe_vals.iter().enumerate() {
+            if let Some(matches) = ht.get(v) {
+                for &i in matches {
+                    out.push(if swapped { (j, i) } else { (i, j) });
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// A comparison predicate on an `i64` column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `value < threshold`.
+    LessThan(i64),
+    /// `value >= threshold`.
+    AtLeast(i64),
+    /// `lo <= value < hi`.
+    Between(i64, i64),
+    /// `value == key`.
+    Equals(i64),
+}
+
+impl Predicate {
+    /// Evaluates the predicate.
+    #[must_use]
+    pub fn eval(&self, v: i64) -> bool {
+        match *self {
+            Predicate::LessThan(t) => v < t,
+            Predicate::AtLeast(t) => v >= t,
+            Predicate::Between(lo, hi) => lo <= v && v < hi,
+            Predicate::Equals(k) => v == k,
+        }
+    }
+}
+
+/// Aggregation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Row count.
+    Count,
+    /// Sum of the column.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn orders() -> Table {
+        let mut t = Table::new(&["id", "customer", "amount"]);
+        t.push(&[1, 10, 250]);
+        t.push(&[2, 11, 75]);
+        t.push(&[3, 10, 500]);
+        t.push(&[4, 12, 20]);
+        t
+    }
+
+    #[test]
+    fn filter_and_aggregate() {
+        let t = orders();
+        let big = t.filter("amount", Predicate::AtLeast(100));
+        assert_eq!(big, vec![0, 2]);
+        assert_eq!(t.aggregate("amount", &big, Aggregate::Sum), 750);
+        assert_eq!(t.aggregate("amount", &big, Aggregate::Count), 2);
+        assert_eq!(t.aggregate("amount", &big, Aggregate::Min), 250);
+        assert_eq!(t.aggregate("amount", &big, Aggregate::Max), 500);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let t = orders();
+        let mut customers = Table::new(&["cid", "tier"]);
+        customers.push(&[10, 1]);
+        customers.push(&[12, 2]);
+        customers.push(&[13, 3]);
+        let joined = t.hash_join("customer", &customers, "cid");
+        // Nested-loop oracle.
+        let mut oracle = Vec::new();
+        for i in 0..t.rows() {
+            for j in 0..customers.rows() {
+                if t.values(t.column("customer"))[i] == customers.values(0)[j] {
+                    oracle.push((i, j));
+                }
+            }
+        }
+        oracle.sort_unstable();
+        assert_eq!(joined, oracle);
+        assert_eq!(joined.len(), 3); // orders 1, 3 -> customer 10; order 4 -> 12
+    }
+
+    #[test]
+    fn predicates_cover_ranges() {
+        assert!(Predicate::LessThan(5).eval(4));
+        assert!(!Predicate::LessThan(5).eval(5));
+        assert!(Predicate::Between(2, 5).eval(2));
+        assert!(!Predicate::Between(2, 5).eval(5));
+        assert!(Predicate::Equals(7).eval(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_rejected() {
+        let _ = orders().filter("nope", Predicate::Equals(0));
+    }
+
+    proptest! {
+        /// Filter + Count == the number of matching values, and the
+        /// survivors all satisfy the predicate, for arbitrary data.
+        #[test]
+        fn filter_is_sound_and_complete(
+            vals in proptest::collection::vec(-1_000i64..1_000, 0..200),
+            threshold in -1_000i64..1_000,
+        ) {
+            let mut t = Table::new(&["v"]);
+            for &v in &vals {
+                t.push(&[v]);
+            }
+            let survivors = t.filter("v", Predicate::AtLeast(threshold));
+            let expect = vals.iter().filter(|&&v| v >= threshold).count();
+            prop_assert_eq!(survivors.len(), expect);
+            for &i in &survivors {
+                prop_assert!(vals[i] >= threshold);
+            }
+        }
+
+        /// Join cardinality equals the sum over keys of |left| x |right|.
+        #[test]
+        fn join_cardinality(
+            left in proptest::collection::vec(0i64..8, 0..60),
+            right in proptest::collection::vec(0i64..8, 0..60),
+        ) {
+            let mut l = Table::new(&["k"]);
+            for &v in &left { l.push(&[v]); }
+            let mut r = Table::new(&["k"]);
+            for &v in &right { r.push(&[v]); }
+            let joined = l.hash_join("k", &r, "k");
+            let mut expect = 0usize;
+            for key in 0..8 {
+                let nl = left.iter().filter(|&&v| v == key).count();
+                let nr = right.iter().filter(|&&v| v == key).count();
+                expect += nl * nr;
+            }
+            prop_assert_eq!(joined.len(), expect);
+        }
+    }
+}

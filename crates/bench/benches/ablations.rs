@@ -1,0 +1,19 @@
+//! Criterion benches for the ablation studies (DESIGN.md section 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_cbir::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("poll_interval", |b| b.iter(ablations::poll_interval));
+    g.bench_function("reconfig_delay", |b| b.iter(ablations::reconfig_delay));
+    g.bench_function("pipelining", |b| b.iter(ablations::pipelining));
+    g.bench_function("sl_tile_budget", |b| b.iter(ablations::sl_tile_budget));
+    g.bench_function("batch_size", |b| b.iter(ablations::batch_size));
+    g.bench_function("rerank_placement", |b| b.iter(ablations::rerank_placement));
+    g.finish();
+}
+
+criterion_group!(ablation_benches, bench_ablations);
+criterion_main!(ablation_benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the beyond-the-paper extension experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_analytics::{AnalyticsPlacement, ScanQuery};
+
+fn bench_recall_vs_compression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/recall");
+    g.sample_size(10);
+    g.bench_function("recall_vs_compression", |b| {
+        b.iter(reach_cbir::experiments::recall_vs_compression)
+    });
+    g.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/analytics");
+    g.sample_size(10);
+    let q = ScanQuery {
+        table_bytes: 8 << 30,
+        selectivity_pct: 1,
+        row_bytes: 64,
+    };
+    g.bench_function("scan_host", |b| b.iter(|| q.run(AnalyticsPlacement::Host)));
+    g.bench_function("scan_near_storage", |b| {
+        b.iter(|| q.run(AnalyticsPlacement::NearStorage))
+    });
+    g.finish();
+}
+
+fn bench_corun(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions/corun");
+    g.sample_size(10);
+    let q = ScanQuery {
+        table_bytes: 4 << 30,
+        selectivity_pct: 2,
+        row_bytes: 64,
+    };
+    g.bench_function("cbir_plus_scan", |b| {
+        b.iter(|| reach_analytics::co_run_interference(4, &q))
+    });
+    g.finish();
+}
+
+criterion_group!(extensions, bench_recall_vs_compression, bench_analytics, bench_corun);
+criterion_main!(extensions);

@@ -1,0 +1,71 @@
+//! One Criterion bench per table/figure of the paper's evaluation.
+//!
+//! Each bench times the *regeneration* of its experiment (simulation +
+//! aggregation); the printed rows themselves come from
+//! `cargo run -p reach-bench --bin experiments --release`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_cbir::experiments as exp;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(exp::table1));
+    g.bench_function("table2", |b| b.iter(exp::table2));
+    g.bench_function("table3", |b| b.iter(exp::table3));
+    g.bench_function("table4", |b| b.iter(exp::table4));
+    g.finish();
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    g.bench_function("onchip_energy_breakdown", |b| b.iter(exp::fig8));
+    g.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("feature_extraction_scaling", |b| b.iter(exp::fig9));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.bench_function("shortlist_scaling", |b| b.iter(exp::fig10));
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("rerank_scaling", |b| b.iter(exp::fig11));
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("single_level_end_to_end", |b| b.iter(exp::fig12));
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("reach_vs_single_level", |b| b.iter(exp::fig13));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13
+);
+criterion_main!(figures);

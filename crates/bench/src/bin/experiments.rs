@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p reach-bench --bin experiments --release          # everything
+//! cargo run -p reach-bench --bin experiments --release -- fig13 # one id
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let renderers = reach_bench::renderers();
+
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &renderers {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&reach_bench::Renderer> = if args.is_empty() {
+        renderers.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for a in &args {
+            match renderers.iter().find(|(n, _)| n == a) {
+                Some(r) => picked.push(r),
+                None => {
+                    eprintln!(
+                        "unknown experiment '{a}'; known ids: {}",
+                        renderers
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+
+    for (i, (_, render)) in selected.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", render());
+    }
+    ExitCode::SUCCESS
+}

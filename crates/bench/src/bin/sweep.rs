@@ -1,0 +1,37 @@
+//! Ad-hoc CBIR sweeps from the command line.
+//!
+//! ```text
+//! cargo run -p reach-bench --bin sweep --release -- \
+//!     --nm 8 --ns 8 --batches 16 --mapping proper --candidates 8192
+//! ```
+
+use reach_bench::sweep::SweepArgs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match SweepArgs::parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "usage: sweep [--nm N] [--ns N] [--batches N] [--batch-size N] \
+                 [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mapping {:?}, {} NM + {} NS accelerators, {} batches of {} queries, {} candidates/query{}",
+        args.mapping,
+        args.nm,
+        args.ns,
+        args.batches,
+        args.batch_size,
+        args.candidates,
+        if args.sequential { " (sequential)" } else { "" }
+    );
+    let report = args.run();
+    println!("{report}");
+    ExitCode::SUCCESS
+}

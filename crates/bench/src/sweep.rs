@@ -1,0 +1,155 @@
+//! Configuration for the `sweep` binary: run any CBIR mapping on any
+//! machine shape from the command line.
+
+use reach::{Machine, RunReport, SystemConfig};
+use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+use std::fmt;
+
+/// Parsed sweep parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepArgs {
+    /// Near-memory accelerator count.
+    pub nm: usize,
+    /// Near-storage unit count.
+    pub ns: usize,
+    /// Batches to run.
+    pub batches: usize,
+    /// Mapping to deploy.
+    pub mapping: CbirMapping,
+    /// Rerank candidates per query.
+    pub candidates: usize,
+    /// Query batch size.
+    pub batch_size: usize,
+    /// Run synchronously (no GAM cross-batch pipelining).
+    pub sequential: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        SweepArgs {
+            nm: 4,
+            ns: 4,
+            batches: 8,
+            mapping: CbirMapping::Proper,
+            candidates: 4096,
+            batch_size: 16,
+            sequential: false,
+        }
+    }
+}
+
+/// A parse failure with the offending token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSweepError(pub String);
+
+impl fmt::Display for ParseSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sweep argument: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSweepError {}
+
+impl SweepArgs {
+    /// Parses `--key value` style arguments.
+    ///
+    /// Accepted keys: `--nm`, `--ns`, `--batches`, `--batch-size`,
+    /// `--candidates`, `--mapping onchip|near-mem|near-stor|proper`,
+    /// `--sequential`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token on unknown keys, missing values or
+    /// unparsable numbers.
+    pub fn parse(args: &[String]) -> Result<Self, ParseSweepError> {
+        let mut out = SweepArgs::default();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            let mut take_usize = |key: &str| -> Result<usize, ParseSweepError> {
+                it.next()
+                    .ok_or_else(|| ParseSweepError(format!("{key} needs a value")))?
+                    .parse()
+                    .map_err(|_| ParseSweepError(format!("{key} needs an integer")))
+            };
+            match key.as_str() {
+                "--nm" => out.nm = take_usize("--nm")?,
+                "--ns" => out.ns = take_usize("--ns")?,
+                "--batches" => out.batches = take_usize("--batches")?,
+                "--batch-size" => out.batch_size = take_usize("--batch-size")?,
+                "--candidates" => out.candidates = take_usize("--candidates")?,
+                "--sequential" => out.sequential = true,
+                "--mapping" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ParseSweepError("--mapping needs a value".into()))?;
+                    out.mapping = match v.as_str() {
+                        "onchip" | "on-chip" => CbirMapping::AllOnChip,
+                        "near-mem" | "nearmem" => CbirMapping::AllNearMemory,
+                        "near-stor" | "nearstor" => CbirMapping::AllNearStorage,
+                        "proper" | "reach" => CbirMapping::Proper,
+                        other => return Err(ParseSweepError(format!("unknown mapping '{other}'"))),
+                    };
+                }
+                other => return Err(ParseSweepError(format!("unknown flag '{other}'"))),
+            }
+        }
+        if out.nm == 0 || out.ns == 0 || out.batches == 0 || out.batch_size == 0 {
+            return Err(ParseSweepError("counts must be positive".into()));
+        }
+        Ok(out)
+    }
+
+    /// Runs the configured sweep point.
+    #[must_use]
+    pub fn run(&self) -> RunReport {
+        let mut workload = CbirWorkload::paper_setup();
+        workload.candidates_per_query = self.candidates;
+        workload.batch = self.batch_size;
+        let cfg = SystemConfig::paper_table2()
+            .with_near_memory(self.nm)
+            .with_near_storage(self.ns);
+        let pipeline = CbirPipeline::new(workload, self.mapping);
+        let mut machine = Machine::new(cfg);
+        if self.sequential {
+            pipeline.run_sequential(&mut machine, self.batches)
+        } else {
+            pipeline.run(&mut machine, self.batches)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<SweepArgs, ParseSweepError> {
+        SweepArgs::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let d = parse(&[]).unwrap();
+        assert_eq!(d, SweepArgs::default());
+        let a = parse(&["--nm", "8", "--mapping", "near-stor", "--sequential"]).unwrap();
+        assert_eq!(a.nm, 8);
+        assert_eq!(a.mapping, CbirMapping::AllNearStorage);
+        assert!(a.sequential);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--nm"]).is_err());
+        assert!(parse(&["--nm", "x"]).is_err());
+        assert!(parse(&["--mapping", "sideways"]).is_err());
+        assert!(parse(&["--batches", "0"]).is_err());
+    }
+
+    #[test]
+    fn runs_a_small_point() {
+        let args = parse(&["--nm", "2", "--ns", "2", "--batches", "2"]).unwrap();
+        let r = args.run();
+        assert_eq!(r.jobs, 2);
+        assert!(r.total_energy_j() > 0.0);
+    }
+}

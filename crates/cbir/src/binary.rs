@@ -1,0 +1,196 @@
+//! Binary-code hashing — the other compression baseline the paper names.
+//!
+//! Section IV-A: "a large body of work focuses on compression methods such
+//! as **binary codes** and product quantization…  However, these methods
+//! significantly penalize the recall accuracy." This module implements the
+//! classic sign-random-projection scheme (SimHash / LSH for cosine
+//! similarity): project onto `bits` random hyperplanes, keep the sign bit,
+//! search by Hamming distance. Together with [`crate::pq`] it makes the
+//! paper's accuracy argument executable — see the `extension-recall`
+//! experiment.
+
+use crate::linalg::Matrix;
+use crate::topk::top_k;
+use rand::Rng;
+
+/// A sign-random-projection binary encoder.
+///
+/// # Example
+///
+/// ```
+/// use reach_cbir::BinaryCoder;
+///
+/// let coder = BinaryCoder::new(16, 64, &mut reach_sim::rng::seeded(4));
+/// let x: Vec<f32> = (0..16).map(|i| i as f32).collect();
+/// let a = coder.encode(&x);
+/// assert_eq!(BinaryCoder::hamming(&a, &a), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BinaryCoder {
+    /// `bits x dim` hyperplane normals.
+    planes: Matrix,
+}
+
+/// A binary code: packed 64-bit words.
+pub type BinaryCode = Vec<u64>;
+
+impl BinaryCoder {
+    /// Draws `bits` random hyperplanes for `dim`-dimensional data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `dim` is zero.
+    #[must_use]
+    pub fn new(dim: usize, bits: usize, rng: &mut impl Rng) -> Self {
+        assert!(dim > 0 && bits > 0, "BinaryCoder: zero size");
+        let data = (0..bits * dim)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        BinaryCoder {
+            planes: Matrix::from_vec(bits, dim, data),
+        }
+    }
+
+    /// Number of bits per code.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.planes.rows()
+    }
+
+    /// Bytes per encoded vector.
+    #[must_use]
+    pub fn code_bytes(&self) -> usize {
+        self.bits().div_ceil(8)
+    }
+
+    /// Encodes one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    pub fn encode(&self, x: &[f32]) -> BinaryCode {
+        assert_eq!(x.len(), self.planes.cols(), "BinaryCoder::encode: bad size");
+        let mut words = vec![0u64; self.bits().div_ceil(64)];
+        for b in 0..self.bits() {
+            let dot: f32 = self.planes.row(b).iter().zip(x).map(|(p, v)| p * v).sum();
+            if dot >= 0.0 {
+                words[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        words
+    }
+
+    /// Encodes every row of `data`.
+    #[must_use]
+    pub fn encode_batch(&self, data: &Matrix) -> Vec<BinaryCode> {
+        (0..data.rows()).map(|i| self.encode(data.row(i))).collect()
+    }
+
+    /// Hamming distance between two codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codes have different lengths.
+    #[must_use]
+    pub fn hamming(a: &BinaryCode, b: &BinaryCode) -> u32 {
+        assert_eq!(a.len(), b.len(), "hamming: length mismatch");
+        a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+    }
+
+    /// Exhaustive Hamming search: the `k` codes nearest to `query`'s code.
+    #[must_use]
+    pub fn search(&self, codes: &[BinaryCode], query: &[f32], k: usize) -> Vec<usize> {
+        let q = self.encode(query);
+        top_k(
+            codes
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (Self::hamming(&q, c) as f32, i)),
+            k,
+        )
+        .into_iter()
+        .map(|(_, i)| i)
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{recall, Dataset};
+    use reach_sim::rng::seeded;
+
+    #[test]
+    fn codes_are_compact_and_deterministic() {
+        let mut rng = seeded(51);
+        let coder = BinaryCoder::new(32, 128, &mut rng);
+        assert_eq!(coder.bits(), 128);
+        assert_eq!(coder.code_bytes(), 16); // 128 B floats -> 16 B
+        let x: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+        assert_eq!(coder.encode(&x), coder.encode(&x));
+    }
+
+    #[test]
+    fn hamming_distance_properties() {
+        let a = vec![0b1010u64];
+        let b = vec![0b0110u64];
+        assert_eq!(BinaryCoder::hamming(&a, &a), 0);
+        assert_eq!(BinaryCoder::hamming(&a, &b), 2);
+        assert_eq!(BinaryCoder::hamming(&a, &b), BinaryCoder::hamming(&b, &a));
+    }
+
+    #[test]
+    fn similar_vectors_get_similar_codes() {
+        let mut rng = seeded(52);
+        let coder = BinaryCoder::new(32, 256, &mut rng);
+        use rand::Rng;
+        let base: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let near: Vec<f32> = base.iter().map(|v| v + 0.02).collect();
+        let far: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let (cb, cn, cf) = (coder.encode(&base), coder.encode(&near), coder.encode(&far));
+        assert!(
+            BinaryCoder::hamming(&cb, &cn) < BinaryCoder::hamming(&cb, &cf),
+            "locality-sensitive property violated"
+        );
+    }
+
+    #[test]
+    fn recall_penalized_vs_exact_search() {
+        let mut rng = seeded(53);
+        let ds = Dataset::gaussian_mixture(3_000, 32, 30, 0.8, &mut rng);
+        let (queries, _) = ds.queries(24, 0.2, &mut rng);
+        let truth = ds.ground_truth(&queries, 10);
+
+        let coder = BinaryCoder::new(32, 64, &mut rng); // 2x compression of 32 floats
+        let codes = coder.encode_batch(&ds.points);
+        let results: Vec<Vec<usize>> = (0..queries.rows())
+            .map(|qi| coder.search(&codes, queries.row(qi), 10))
+            .collect();
+        let r = recall(&results, &truth, 10).recall_at_k;
+        assert!(
+            r < 0.9,
+            "64-bit codes should lose measurable recall, got {r:.3}"
+        );
+        assert!(r > 0.05, "codes should still retrieve something, got {r:.3}");
+    }
+
+    #[test]
+    fn more_bits_improve_recall() {
+        let mut rng = seeded(54);
+        let ds = Dataset::gaussian_mixture(2_000, 32, 25, 0.8, &mut rng);
+        let (queries, _) = ds.queries(16, 0.2, &mut rng);
+        let truth = ds.ground_truth(&queries, 10);
+        let r = |bits: usize| {
+            let coder = BinaryCoder::new(32, bits, &mut seeded(55));
+            let codes = coder.encode_batch(&ds.points);
+            let results: Vec<Vec<usize>> = (0..queries.rows())
+                .map(|qi| coder.search(&codes, queries.row(qi), 10))
+                .collect();
+            recall(&results, &truth, 10).recall_at_k
+        };
+        let short = r(32);
+        let long = r(512);
+        assert!(long > short, "recall should grow with bits: {short:.3} -> {long:.3}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic datasets and retrieval-quality metrics.
+//!
+//! The billion-scale image-feature database of the paper is replaced by a
+//! Gaussian-mixture vector dataset (DESIGN.md, substitution table): cluster
+//! structure is what IVF indexing exploits, and recall against exact brute
+//! force is measurable at laptop scale.
+
+use crate::linalg::{dist_sq, Matrix};
+use crate::topk::top_k;
+use rand::Rng;
+use rand_distr_shim::StandardNormalShim;
+
+/// A tiny shim providing standard-normal draws without an extra crate
+/// dependency (Box–Muller over the uniform generator).
+mod rand_distr_shim {
+    use rand::Rng;
+
+    pub struct StandardNormalShim;
+
+    impl StandardNormalShim {
+        pub fn sample(rng: &mut impl Rng) -> f32 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        }
+    }
+}
+
+/// A labelled Gaussian-mixture dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// `n x d` data points.
+    pub points: Matrix,
+    /// Ground-truth mixture component of each point.
+    pub labels: Vec<usize>,
+    /// The mixture means (`components x d`).
+    pub means: Matrix,
+}
+
+impl Dataset {
+    /// Samples `n` points in `d` dimensions from `components` Gaussian
+    /// blobs with the given intra-cluster standard deviation. Means are
+    /// drawn uniformly in `[-10, 10]^d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    #[must_use]
+    pub fn gaussian_mixture(
+        n: usize,
+        d: usize,
+        components: usize,
+        sigma: f32,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n > 0 && d > 0 && components > 0, "Dataset: zero size");
+        let mut means = Matrix::zeros(components, d);
+        for c in 0..components {
+            for v in means.row_mut(c) {
+                *v = rng.gen_range(-10.0..10.0);
+            }
+        }
+        let mut points = Matrix::zeros(n, d);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = rng.gen_range(0..components);
+            labels.push(c);
+            // Copy the mean first, then perturb, to keep the borrow local.
+            let mean: Vec<f32> = means.row(c).to_vec();
+            for (v, m) in points.row_mut(i).iter_mut().zip(mean) {
+                *v = m + sigma * StandardNormalShim::sample(rng);
+            }
+        }
+        Dataset {
+            points,
+            labels,
+            means,
+        }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// `true` when empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.rows() == 0
+    }
+
+    /// Draws `count` queries: perturbed copies of random dataset points
+    /// (the standard "query near the manifold" retrieval setup). Returns
+    /// the queries and the index of the point each was derived from.
+    #[must_use]
+    pub fn queries(&self, count: usize, sigma: f32, rng: &mut impl Rng) -> (Matrix, Vec<usize>) {
+        let d = self.points.cols();
+        let mut q = Matrix::zeros(count, d);
+        let mut origin = Vec::with_capacity(count);
+        for i in 0..count {
+            let src = rng.gen_range(0..self.len());
+            origin.push(src);
+            let base: Vec<f32> = self.points.row(src).to_vec();
+            for (v, b) in q.row_mut(i).iter_mut().zip(base) {
+                *v = b + sigma * StandardNormalShim::sample(rng);
+            }
+        }
+        (q, origin)
+    }
+
+    /// Exact K-nearest-neighbour ground truth by brute force.
+    #[must_use]
+    pub fn ground_truth(&self, queries: &Matrix, k: usize) -> Vec<Vec<usize>> {
+        (0..queries.rows())
+            .map(|qi| {
+                top_k(
+                    (0..self.len()).map(|i| (dist_sq(queries.row(qi), self.points.row(i)), i)),
+                    k,
+                )
+                .into_iter()
+                .map(|(_, i)| i)
+                .collect()
+            })
+            .collect()
+    }
+}
+
+/// Recall of retrieved results against exact ground truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecallReport {
+    /// Mean fraction of true K-nearest neighbours found, in `[0, 1]`.
+    pub recall_at_k: f64,
+    /// Queries evaluated.
+    pub queries: usize,
+    /// K used.
+    pub k: usize,
+}
+
+/// Computes recall@K: `|retrieved ∩ true| / k`, averaged over queries.
+///
+/// # Panics
+///
+/// Panics if the result lists disagree in length or `k` is zero.
+#[must_use]
+pub fn recall(retrieved: &[Vec<usize>], truth: &[Vec<usize>], k: usize) -> RecallReport {
+    assert_eq!(retrieved.len(), truth.len(), "recall: query count mismatch");
+    assert!(k > 0, "recall: k = 0");
+    let mut total = 0.0f64;
+    for (r, t) in retrieved.iter().zip(truth) {
+        let hits = r.iter().take(k).filter(|i| t[..k.min(t.len())].contains(i)).count();
+        total += hits as f64 / k as f64;
+    }
+    RecallReport {
+        recall_at_k: total / retrieved.len().max(1) as f64,
+        queries: retrieved.len(),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::rng::seeded;
+
+    #[test]
+    fn mixture_has_cluster_structure() {
+        let mut rng = seeded(11);
+        let ds = Dataset::gaussian_mixture(300, 8, 3, 0.3, &mut rng);
+        assert_eq!(ds.len(), 300);
+        // A point is closer to its own component mean than to the others.
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let own = dist_sq(ds.points.row(i), ds.means.row(ds.labels[i]));
+            let others = (0..3)
+                .filter(|&c| c != ds.labels[i])
+                .map(|c| dist_sq(ds.points.row(i), ds.means.row(c)))
+                .fold(f32::INFINITY, f32::min);
+            if own < others {
+                correct += 1;
+            }
+        }
+        assert!(correct > 290, "structure too weak: {correct}/300");
+    }
+
+    #[test]
+    fn queries_are_near_their_origin() {
+        let mut rng = seeded(13);
+        let ds = Dataset::gaussian_mixture(200, 8, 4, 0.5, &mut rng);
+        let (q, origin) = ds.queries(10, 0.01, &mut rng);
+        let gt = ds.ground_truth(&q, 1);
+        let hits = gt
+            .iter()
+            .zip(&origin)
+            .filter(|(nn, &o)| nn[0] == o)
+            .count();
+        assert!(hits >= 9, "only {hits}/10 queries found their origin");
+    }
+
+    #[test]
+    fn recall_metric_boundaries() {
+        let truth = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let perfect = recall(&truth.clone(), &truth, 3);
+        assert!((perfect.recall_at_k - 1.0).abs() < 1e-12);
+        let miss = recall(&[vec![9, 9, 9], vec![9, 9, 9]], &truth, 3);
+        assert_eq!(miss.recall_at_k, 0.0);
+        let half = recall(&[vec![1, 9, 9], vec![4, 5, 9]], &truth, 3);
+        assert!((half.recall_at_k - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let a = Dataset::gaussian_mixture(50, 4, 2, 0.1, &mut seeded(21));
+        let b = Dataset::gaussian_mixture(50, 4, 2, 0.1, &mut seeded(21));
+        assert_eq!(a.points.as_slice(), b.points.as_slice());
+        assert_eq!(a.labels, b.labels);
+    }
+}

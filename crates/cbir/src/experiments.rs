@@ -1,0 +1,585 @@
+//! The paper's evaluation, experiment by experiment.
+//!
+//! Every table and figure of Section V/VI has a function here that runs the
+//! corresponding simulation(s) and returns structured rows; the
+//! `reach-bench` crate wraps each in a Criterion bench and the
+//! `experiments` binary prints them in the paper's format. EXPERIMENTS.md
+//! records paper-vs-measured values.
+
+use crate::pipeline::{CbirMapping, CbirPipeline, CbirStage};
+use crate::workload::CbirWorkload;
+use reach::{ComputeLevel, EnergyLedger, Machine, RunReport, SystemConfig};
+use std::fmt;
+
+/// Builds the machine for `mapping`-style runs with the given number of
+/// near-memory / near-storage instances.
+#[must_use]
+pub fn machine_with(nm: usize, ns: usize) -> Machine {
+    Machine::new(
+        SystemConfig::paper_table2()
+            .with_near_memory(nm.max(1))
+            .with_near_storage(ns.max(1)),
+    )
+}
+
+/// Instance counts swept in Figures 9–11.
+pub const STAGE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Instance counts swept in Figure 12.
+pub const E2E_SWEEP: [usize; 3] = [1, 2, 4];
+
+// ------------------------------------------------------------------ //
+// Figure 8 — energy breakdown of the on-chip baseline
+// ------------------------------------------------------------------ //
+
+/// Figure 8: the on-chip baseline's energy matrix.
+#[derive(Clone, Debug)]
+pub struct Fig8 {
+    /// The full component x stage ledger (the left chart).
+    pub ledger: EnergyLedger,
+    /// Fraction of energy spent moving data (the paper reports 79%).
+    pub movement_fraction: f64,
+    /// Per-stage share of total energy, pipeline order (FE, SL, RR) —
+    /// the right chart's column sums.
+    pub stage_shares: [f64; 3],
+    /// The baseline report (reused by other figures for normalization).
+    pub report: RunReport,
+}
+
+/// Runs the fully-on-chip CBIR batch and decomposes its energy.
+#[must_use]
+pub fn fig8() -> Fig8 {
+    let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllOnChip);
+    let report = p.run(&mut machine_with(4, 4), 1);
+    let total = report.total_energy_j();
+    let shares = [
+        report.ledger.stage_total(CbirStage::FeatureExtraction.label()) / total,
+        report.ledger.stage_total(CbirStage::ShortList.label()) / total,
+        report.ledger.stage_total(CbirStage::Rerank.label()) / total,
+    ];
+    Fig8 {
+        movement_fraction: report.ledger.movement_fraction(),
+        stage_shares: shares,
+        ledger: report.ledger.clone(),
+        report,
+    }
+}
+
+// ------------------------------------------------------------------ //
+// Figures 9-11 — per-stage runtime/energy scaling at NM and NS
+// ------------------------------------------------------------------ //
+
+/// One bar of Figures 9, 10 or 11.
+#[derive(Clone, Copy, Debug)]
+pub struct StageScalingRow {
+    /// Near-memory or near-storage.
+    pub level: ComputeLevel,
+    /// Accelerator instances.
+    pub instances: usize,
+    /// Runtime normalized to the on-chip single instance.
+    pub runtime_norm: f64,
+    /// Energy normalized to the on-chip single instance.
+    pub energy_norm: f64,
+}
+
+impl fmt::Display for StageScalingRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} x{:<2}  runtime {:>6.2}  energy {:>6.2}",
+            self.level.to_string(),
+            self.instances,
+            self.runtime_norm,
+            self.energy_norm
+        )
+    }
+}
+
+/// Runs one pipeline stage at near-memory and near-storage with the
+/// Figure 9–11 instance sweep, normalized to the on-chip accelerator.
+#[must_use]
+pub fn stage_scaling(stage: CbirStage) -> Vec<StageScalingRow> {
+    let w = CbirWorkload::paper_setup();
+    let base = CbirPipeline::new(w, CbirMapping::AllOnChip)
+        .run_stage(&mut machine_with(4, 4), stage, 1);
+    let base_time = base.makespan.as_secs_f64();
+    let base_energy = base.total_energy_j();
+
+    let mut rows = Vec::new();
+    for (mapping, level) in [
+        (CbirMapping::AllNearMemory, ComputeLevel::NearMemory),
+        (CbirMapping::AllNearStorage, ComputeLevel::NearStorage),
+    ] {
+        for &n in &STAGE_SWEEP {
+            let mut machine = match level {
+                ComputeLevel::NearMemory => machine_with(n, 4),
+                _ => machine_with(4, n),
+            };
+            let r = CbirPipeline::new(w, mapping).run_stage(&mut machine, stage, 1);
+            rows.push(StageScalingRow {
+                level,
+                instances: n,
+                runtime_norm: r.makespan.as_secs_f64() / base_time,
+                energy_norm: r.total_energy_j() / base_energy,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 9: feature extraction scaling.
+#[must_use]
+pub fn fig9() -> Vec<StageScalingRow> {
+    stage_scaling(CbirStage::FeatureExtraction)
+}
+
+/// Figure 10: short-list retrieval scaling.
+#[must_use]
+pub fn fig10() -> Vec<StageScalingRow> {
+    stage_scaling(CbirStage::ShortList)
+}
+
+/// Figure 11: rerank scaling.
+#[must_use]
+pub fn fig11() -> Vec<StageScalingRow> {
+    stage_scaling(CbirStage::Rerank)
+}
+
+// ------------------------------------------------------------------ //
+// Figure 12 — end-to-end CBIR on a single compute level
+// ------------------------------------------------------------------ //
+
+/// One bar group of Figure 12.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Which single level ran the whole pipeline.
+    pub mapping: CbirMapping,
+    /// Instances at that level (on-chip always has 1).
+    pub instances: usize,
+    /// Total runtime normalized to the on-chip baseline.
+    pub runtime_norm: f64,
+    /// Total energy normalized to the on-chip baseline.
+    pub energy_norm: f64,
+    /// Per-stage runtime share (FE, SL, RR) for the stacked bars.
+    pub stage_spans_ms: [f64; 3],
+}
+
+impl fmt::Display for Fig12Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12} x{:<2}  runtime {:>5.2}  energy {:>5.2}  (fe {:.0}ms, sl {:.0}ms, rr {:.0}ms)",
+            self.mapping.name(),
+            self.instances,
+            self.runtime_norm,
+            self.energy_norm,
+            self.stage_spans_ms[0],
+            self.stage_spans_ms[1],
+            self.stage_spans_ms[2]
+        )
+    }
+}
+
+/// Runs the end-to-end pipeline on each single level with 1/2/4 instances.
+#[must_use]
+pub fn fig12() -> Vec<Fig12Row> {
+    let w = CbirWorkload::paper_setup();
+    let base = CbirPipeline::new(w, CbirMapping::AllOnChip).run(&mut machine_with(4, 4), 1);
+    let base_time = base.makespan.as_secs_f64();
+    let base_energy = base.total_energy_j();
+
+    let spans = |r: &RunReport| -> [f64; 3] {
+        [
+            r.stage(CbirStage::FeatureExtraction.label())
+                .map_or(0.0, |s| s.span().as_ms_f64()),
+            r.stage(CbirStage::ShortList.label())
+                .map_or(0.0, |s| s.span().as_ms_f64()),
+            r.stage(CbirStage::Rerank.label())
+                .map_or(0.0, |s| s.span().as_ms_f64()),
+        ]
+    };
+
+    let mut rows = vec![Fig12Row {
+        mapping: CbirMapping::AllOnChip,
+        instances: 1,
+        runtime_norm: 1.0,
+        energy_norm: 1.0,
+        stage_spans_ms: spans(&base),
+    }];
+    for &n in &E2E_SWEEP {
+        for mapping in [CbirMapping::AllNearMemory, CbirMapping::AllNearStorage] {
+            let mut machine = match mapping {
+                CbirMapping::AllNearMemory => machine_with(n, 4),
+                _ => machine_with(4, n),
+            };
+            let r = CbirPipeline::new(w, mapping).run(&mut machine, 1);
+            rows.push(Fig12Row {
+                mapping,
+                instances: n,
+                runtime_norm: r.makespan.as_secs_f64() / base_time,
+                energy_norm: r.total_energy_j() / base_energy,
+                stage_spans_ms: spans(&r),
+            });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ //
+// Figure 13 — the headline comparison
+// ------------------------------------------------------------------ //
+
+/// One acceleration option of Figure 13.
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// The acceleration option.
+    pub mapping: CbirMapping,
+    /// Query throughput improvement over on-chip (chart a).
+    pub throughput_gain: f64,
+    /// Query response latency improvement over on-chip (chart b).
+    pub latency_gain: f64,
+    /// Energy per component in joules per batch (chart c).
+    pub energy_by_component: Vec<(reach::SystemComponent, f64)>,
+    /// Total energy per batch.
+    pub energy_total: f64,
+}
+
+impl fmt::Display for Fig13Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  throughput {:>5.2}x  latency {:>5.2}x  energy {:>7.2} J",
+            self.mapping.name(),
+            self.throughput_gain,
+            self.latency_gain,
+            self.energy_total
+        )
+    }
+}
+
+/// Batches used for the steady-state throughput measurement.
+pub const FIG13_BATCHES: usize = 16;
+
+/// Runs the four acceleration options of Figure 13.
+///
+/// The on-chip baseline runs *synchronously* (conventional host-driven
+/// acceleration: one batch completes before the next starts); the
+/// near-data options run under the GAM with cross-batch pipelining — the
+/// paper's "GAM assigns tasks from the next job … without waiting".
+#[must_use]
+pub fn fig13() -> Vec<Fig13Row> {
+    let w = CbirWorkload::paper_setup();
+    let run_pair = |mapping: CbirMapping| {
+        let p = CbirPipeline::new(w, mapping);
+        let steady = if mapping == CbirMapping::AllOnChip {
+            p.run_sequential(&mut machine_with(4, 4), FIG13_BATCHES)
+        } else {
+            p.run(&mut machine_with(4, 4), FIG13_BATCHES)
+        };
+        let single = p.run(&mut machine_with(4, 4), 1);
+        (steady, single)
+    };
+    let (base_steady, base_single) = run_pair(CbirMapping::AllOnChip);
+
+    CbirMapping::ALL
+        .iter()
+        .map(|&mapping| {
+            let (steady, single) = run_pair(mapping);
+            let energy_by_component = reach::SystemComponent::ALL
+                .iter()
+                .map(|&c| (c, single.ledger.component_total(c)))
+                .collect();
+            Fig13Row {
+                mapping,
+                throughput_gain: steady.throughput_jobs_per_sec()
+                    / base_steady.throughput_jobs_per_sec(),
+                latency_gain: base_single.job_latency_mean.as_secs_f64()
+                    / single.job_latency_mean.as_secs_f64(),
+                energy_total: single.total_energy_j(),
+                energy_by_component,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------ //
+// Extension: recall vs compression (Section IV-A's argument, executed)
+// ------------------------------------------------------------------ //
+
+/// One row of the recall-vs-compression comparison.
+#[derive(Clone, Debug)]
+pub struct RecallCompressionRow {
+    /// Method name.
+    pub method: String,
+    /// Bytes of index data visited per query (relative cost of the scan).
+    pub bytes_per_vector: f64,
+    /// Recall@10 against exact brute force.
+    pub recall_at_10: f64,
+}
+
+impl fmt::Display for RecallCompressionRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<34} {:>8.1} B/vec   recall@10 {:>6.3}",
+            self.method, self.bytes_per_vector, self.recall_at_10
+        )
+    }
+}
+
+/// The paper's Section IV-A argument, executed: lossy compression (binary
+/// codes, product quantization) cuts bytes visited by 8-64x but pays in
+/// recall, while the exact IVF + rerank pipeline ReACH accelerates keeps
+/// recall high at full precision.
+#[must_use]
+pub fn recall_vs_compression() -> Vec<RecallCompressionRow> {
+    use crate::binary::BinaryCoder;
+    use crate::dataset::{recall, Dataset};
+    use crate::ivf::IvfIndex;
+    use crate::pq::ProductQuantizer;
+    use reach_sim::rng::derived;
+
+    let mut rng = derived(reach_sim::rng::DEFAULT_SEED, "recall-vs-compression");
+    let dim = 32;
+    let ds = Dataset::gaussian_mixture(6_000, dim, 48, 0.8, &mut rng);
+    let (queries, _) = ds.queries(32, 0.2, &mut rng);
+    let truth = ds.ground_truth(&queries, 10);
+    let full_bytes = dim as f64 * 4.0;
+
+    let mut rows = Vec::new();
+
+    // Exact IVF + rerank (what ReACH accelerates), nprobe = 1/6 of cells.
+    let index = IvfIndex::build(&ds.points, 48, &mut rng);
+    let exact = index.search(&ds.points, &queries, 8, 10, None);
+    rows.push(RecallCompressionRow {
+        method: "IVF + exact rerank (ReACH)".into(),
+        bytes_per_vector: full_bytes * 8.0 / 48.0, // fraction of cells scanned
+        recall_at_10: recall(&exact, &truth, 10).recall_at_k,
+    });
+
+    // Product quantization at two compression points.
+    for (subs, cents, label) in [(8usize, 64usize, "PQ 8x8b (16x smaller)"),
+                                  (4, 16, "PQ 4x4b (32x smaller)")] {
+        let pq = ProductQuantizer::train(&ds.points, subs, cents, &mut rng);
+        let codes = pq.encode_batch(&ds.points);
+        let results: Vec<Vec<usize>> = (0..queries.rows())
+            .map(|qi| pq.search(&codes, queries.row(qi), 10))
+            .collect();
+        rows.push(RecallCompressionRow {
+            method: label.into(),
+            bytes_per_vector: pq.code_bytes() as f64,
+            recall_at_10: recall(&results, &truth, 10).recall_at_k,
+        });
+    }
+
+    // Binary codes at two lengths.
+    for bits in [64usize, 256] {
+        let coder = BinaryCoder::new(dim, bits, &mut rng);
+        let codes = coder.encode_batch(&ds.points);
+        let results: Vec<Vec<usize>> = (0..queries.rows())
+            .map(|qi| coder.search(&codes, queries.row(qi), 10))
+            .collect();
+        rows.push(RecallCompressionRow {
+            method: format!("binary codes, {bits} bits"),
+            bytes_per_vector: coder.code_bytes() as f64,
+            recall_at_10: recall(&results, &truth, 10).recall_at_k,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------------ //
+// Tables
+// ------------------------------------------------------------------ //
+
+/// One row of Table I.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Pipeline stage name.
+    pub stage: &'static str,
+    /// Memory requirement description.
+    pub memory: String,
+    /// Computation requirement description.
+    pub compute: &'static str,
+}
+
+/// Table I: memory and compute requirements of each CBIR stage.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    let w = CbirWorkload::paper_setup();
+    vec![
+        Table1Row {
+            stage: "Feature extraction",
+            memory: format!(
+                "{:.0} MB, {:.1} MB if compressed (NN model parameters)",
+                crate::features::VGG16_PARAM_BYTES as f64 / 1e6,
+                crate::features::VGG16_COMPRESSED_PARAM_BYTES as f64 / 1e6
+            ),
+            compute: "High - convolutional neural network",
+        },
+        Table1Row {
+            stage: "Short-list retrieval",
+            memory: format!(
+                "~{:.1} GB (cluster centroids and cell info)",
+                w.centroid_store_bytes as f64 / 1e9
+            ),
+            compute: "Medium - non-square matrix multiplication",
+        },
+        Table1Row {
+            stage: "Rerank",
+            memory: "~355 GB (1 billion feature vectors)".to_string(),
+            compute: "Low - K nearest neighbors",
+        },
+        Table1Row {
+            stage: "Reverse lookup",
+            memory: "200 TB - 2 PB (1 billion images)".to_string(),
+            compute: "Very low - database access (excluded, as in the paper)",
+        },
+    ]
+}
+
+/// Table II is the [`SystemConfig::paper_table2`] value itself.
+#[must_use]
+pub fn table2() -> SystemConfig {
+    SystemConfig::paper_table2()
+}
+
+/// Table III is the template registry.
+#[must_use]
+pub fn table3() -> reach::TemplateRegistry {
+    reach::TemplateRegistry::paper_table3()
+}
+
+/// Table IV is the energy preset bundle.
+#[must_use]
+pub fn table4() -> reach_energy::EnergyPresets {
+    reach_energy::EnergyPresets::paper_table4()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_movement_dominates() {
+        let f = fig8();
+        // Paper: 79% movement. Acceptance band from DESIGN.md: 70-85%.
+        assert!(
+            f.movement_fraction > 0.70 && f.movement_fraction < 0.85,
+            "movement fraction {:.3}",
+            f.movement_fraction
+        );
+        // Rerank is the dominant stage.
+        assert!(
+            f.stage_shares[2] > f.stage_shares[0] && f.stage_shares[2] > f.stage_shares[1],
+            "stage shares {:?}",
+            f.stage_shares
+        );
+        let sum: f64 = f.stage_shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "shares sum {sum}");
+    }
+
+    #[test]
+    fn fig9_shapes() {
+        let rows = fig9();
+        let nm1 = rows.iter().find(|r| r.level == ComputeLevel::NearMemory && r.instances == 1).unwrap();
+        // Single embedded instance 7-10x slower than on-chip.
+        assert!(nm1.runtime_norm > 7.0 && nm1.runtime_norm < 11.0, "NM1 {}", nm1.runtime_norm);
+        // 16 instances collectively surpass the on-chip accelerator.
+        let nm16 = rows.iter().find(|r| r.level == ComputeLevel::NearMemory && r.instances == 16).unwrap();
+        assert!(nm16.runtime_norm < 1.0, "NM16 {}", nm16.runtime_norm);
+        // On-chip has the best energy: every embedded bar >= 1.
+        for r in &rows {
+            assert!(r.energy_norm > 0.9, "{r} beats on-chip energy on FE");
+        }
+    }
+
+    #[test]
+    fn fig10_shapes() {
+        let rows = fig10();
+        let nm = |n: usize| {
+            rows.iter()
+                .find(|r| r.level == ComputeLevel::NearMemory && r.instances == n)
+                .unwrap()
+        };
+        // 1 instance is slower than on-chip; 2 or more are faster.
+        assert!(nm(1).runtime_norm > 1.0, "NM1 {}", nm(1).runtime_norm);
+        assert!(nm(2).runtime_norm < 1.0, "NM2 {}", nm(2).runtime_norm);
+        assert!(nm(4).runtime_norm < nm(2).runtime_norm);
+        // Near-storage is slower than near-memory at equal instance count.
+        let ns1 = rows.iter().find(|r| r.level == ComputeLevel::NearStorage && r.instances == 1).unwrap();
+        assert!(ns1.runtime_norm > nm(1).runtime_norm, "NS1 {} vs NM1 {}", ns1.runtime_norm, nm(1).runtime_norm);
+    }
+
+    #[test]
+    fn fig11_shapes() {
+        let rows = fig11();
+        let nm = |n: usize| {
+            rows.iter()
+                .find(|r| r.level == ComputeLevel::NearMemory && r.instances == n)
+                .unwrap()
+                .runtime_norm
+        };
+        let ns = |n: usize| {
+            rows.iter()
+                .find(|r| r.level == ComputeLevel::NearStorage && r.instances == n)
+                .unwrap()
+                .runtime_norm
+        };
+        // Near-memory scales then plateaus past 8 instances (host IO).
+        assert!(nm(4) < nm(1));
+        let plateau = nm(16) / nm(8);
+        assert!(plateau > 0.7, "NM should plateau 8->16, got {plateau}");
+        // Near-storage keeps scaling.
+        let ns_scaling = ns(16) / ns(8);
+        assert!(ns_scaling < 0.7, "NS should keep scaling, got {ns_scaling}");
+    }
+
+    #[test]
+    fn fig13_headline_numbers() {
+        let rows = fig13();
+        let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+        // Paper: 4.5x throughput, 2.2x latency, 52% energy reduction.
+        // DESIGN.md bands: [3.5, 5.5]x, [1.8, 2.8]x, [45, 60]%.
+        assert!(
+            reach.throughput_gain > 3.5 && reach.throughput_gain < 5.5,
+            "throughput {:.2}",
+            reach.throughput_gain
+        );
+        assert!(
+            reach.latency_gain > 1.8 && reach.latency_gain < 2.8,
+            "latency {:.2}",
+            reach.latency_gain
+        );
+        let base = rows.iter().find(|r| r.mapping == CbirMapping::AllOnChip).unwrap();
+        let reduction = 1.0 - reach.energy_total / base.energy_total;
+        assert!(
+            reduction > 0.45 && reduction < 0.60,
+            "energy reduction {:.3}",
+            reduction
+        );
+    }
+
+    #[test]
+    fn compression_penalizes_recall() {
+        let rows = recall_vs_compression();
+        let exact = rows[0].recall_at_10;
+        assert!(exact > 0.9, "exact pipeline recall {exact:.3}");
+        for lossy in &rows[1..] {
+            assert!(
+                lossy.recall_at_10 < exact,
+                "{} should trail the exact pipeline: {:.3} vs {exact:.3}",
+                lossy.method,
+                lossy.recall_at_10
+            );
+        }
+    }
+
+    #[test]
+    fn tables_are_populated() {
+        assert_eq!(table1().len(), 4);
+        assert_eq!(table3().len(), 9);
+        table2().validate();
+        let _ = table4();
+    }
+}

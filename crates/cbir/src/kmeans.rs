@@ -1,0 +1,212 @@
+//! K-means clustering (k-means++ initialization + Lloyd iterations).
+//!
+//! The paper preprocesses the database "with k-means to obtain 1000 cluster
+//! centroids" during the offline stage; this is that stage.
+
+use crate::linalg::{dist_sq, Matrix};
+use rand::Rng;
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// `k x d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster index of each input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids after the last
+    /// iteration.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+/// Runs k-means++ then Lloyd's algorithm until convergence or `max_iters`.
+///
+/// # Example
+///
+/// ```
+/// use reach_cbir::linalg::Matrix;
+/// use reach_cbir::kmeans::kmeans;
+///
+/// // Two obvious groups on a line.
+/// let pts = Matrix::from_vec(4, 1, vec![0.0, 0.1, 10.0, 10.1]);
+/// let c = kmeans(&pts, 2, 10, &mut reach_sim::rng::seeded(1));
+/// assert_eq!(c.assignments[0], c.assignments[1]);
+/// assert_ne!(c.assignments[0], c.assignments[2]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // parallel-indexed arrays; enumerate obscures
+pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut impl Rng) -> Clustering {
+    let n = points.rows();
+    let d = points.cols();
+    assert!(k > 0 && k <= n, "kmeans: k={k} out of range for {n} points");
+
+    // --- k-means++ seeding ---
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(points.row(first));
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| dist_sq(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().map(|&x| f64::from(x)).sum();
+        let chosen = if total <= f64::EPSILON {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &x) in d2.iter().enumerate() {
+                target -= f64::from(x);
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(points.row(chosen));
+        for i in 0..n {
+            let nd = dist_sq(points.row(i), centroids.row(c));
+            if nd < d2[i] {
+                d2[i] = nd;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let mut new_inertia = 0.0f64;
+        for i in 0..n {
+            let (mut best, mut best_d) = (0usize, f32::INFINITY);
+            for c in 0..k {
+                let dd = dist_sq(points.row(i), centroids.row(c));
+                if dd < best_d {
+                    best = c;
+                    best_d = dd;
+                }
+            }
+            assignments[i] = best;
+            new_inertia += f64::from(best_d);
+        }
+        // Update.
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(points.row(i)) {
+                *s += f64::from(x);
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster on the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        dist_sq(points.row(a), centroids.row(assignments[a]))
+                            .partial_cmp(&dist_sq(points.row(b), centroids.row(assignments[b])))
+                            .expect("no NaN distances")
+                    })
+                    .expect("non-empty dataset");
+                centroids.row_mut(c).copy_from_slice(points.row(far));
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            for (dst, s) in centroids.row_mut(c).iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+                *dst = (s * inv) as f32;
+            }
+        }
+        // Converged?
+        if (inertia - new_inertia).abs() <= 1e-6 * new_inertia.max(1.0) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    Clustering {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::rng::seeded;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs() -> Matrix {
+        let centers = [(-10.0f32, -10.0), (0.0, 10.0), (10.0, -5.0)];
+        let mut rng = seeded(7);
+        let mut data = Vec::new();
+        for &(cx, cy) in &centers {
+            for _ in 0..50 {
+                data.push(cx + rng.gen_range(-0.5..0.5));
+                data.push(cy + rng.gen_range(-0.5..0.5));
+            }
+        }
+        Matrix::from_vec(150, 2, data)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let pts = blobs();
+        let mut rng = seeded(1);
+        let c = kmeans(&pts, 3, 50, &mut rng);
+        // All points of one blob share one assignment.
+        for blob in 0..3 {
+            let first = c.assignments[blob * 50];
+            for i in 0..50 {
+                assert_eq!(c.assignments[blob * 50 + i], first, "blob {blob} split");
+            }
+        }
+        // Tight inertia: every point within 1.0 of its centroid.
+        assert!(c.inertia / 150.0 < 1.0, "inertia {}", c.inertia);
+        assert!(c.iterations >= 1);
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_clusters() {
+        let pts = blobs();
+        let i2 = kmeans(&pts, 2, 50, &mut seeded(3)).inertia;
+        let i3 = kmeans(&pts, 3, 50, &mut seeded(3)).inertia;
+        let i8 = kmeans(&pts, 8, 50, &mut seeded(3)).inertia;
+        assert!(i3 <= i2 * 1.01, "i3 {i3} vs i2 {i2}");
+        assert!(i8 <= i3 * 1.01, "i8 {i8} vs i3 {i3}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blobs();
+        let a = kmeans(&pts, 3, 20, &mut seeded(9));
+        let b = kmeans(&pts, 3, 20, &mut seeded(9));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids.as_slice(), b.centroids.as_slice());
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let pts = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 5.0, 5.0]);
+        let c = kmeans(&pts, 4, 10, &mut seeded(2));
+        assert!(c.inertia < 1e-9, "inertia {}", c.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_larger_than_n_rejected() {
+        let pts = Matrix::zeros(3, 2);
+        let _ = kmeans(&pts, 4, 10, &mut seeded(0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Dense linear algebra for the CBIR kernels.
+//!
+//! Row-major `f32` matrices, a blocked GEMM, squared Euclidean distances and
+//! the decomposed-distance identity (Equation 1 of the paper):
+//!
+//! ```text
+//! ||q - c||^2 = ||q||^2 + ||c||^2 - 2 <q, c>
+//! ```
+//!
+//! which turns short-list retrieval into one matrix-matrix product plus a
+//! broadcast addition — the shape the GeMM accelerator template runs.
+
+/// A row-major `f32` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero dimension.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "Matrix: zero dimension");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix: shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "Matrix::row: {i} out of {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "Matrix::row_mut: {i} out of {}", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The backing slice (row-major).
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// `C = A x B^T` — blocked for cache friendliness. `A` is `m x k`, `B` is
+/// `n x k` (both row-major), result is `m x n`. Taking `B` row-major with
+/// rows as the *right* operand's columns matches how the centroid matrix is
+/// stored "in columnar fashion" in the paper.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols, b.cols, "gemm_nt: inner dimensions {} vs {}", a.cols, b.cols);
+    let mut c = Matrix::zeros(a.rows, b.rows);
+    const BLOCK: usize = 32;
+    for i0 in (0..a.rows).step_by(BLOCK) {
+        for j0 in (0..b.rows).step_by(BLOCK) {
+            for i in i0..(i0 + BLOCK).min(a.rows) {
+                let ar = a.row(i);
+                for j in j0..(j0 + BLOCK).min(b.rows) {
+                    let br = b.row(j);
+                    let mut acc = 0.0f32;
+                    for t in 0..a.cols {
+                        acc += ar[t] * br[t];
+                    }
+                    c.row_mut(i)[j] = acc;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Squared L2 norm of a vector.
+#[must_use]
+pub fn norm_sq(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// Direct squared Euclidean distance (Equation 2 of the paper).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn dist_sq(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "dist_sq: length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Decomposed squared distances of a query batch against a point set
+/// (Equation 1): one GEMM plus broadcast additions of precomputed norms.
+/// Returns the `queries.rows x points.rows` distance matrix.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // rows of three matrices walked in lockstep
+pub fn batch_dist_sq(queries: &Matrix, points: &Matrix) -> Matrix {
+    let dots = gemm_nt(queries, points);
+    let q_norms: Vec<f32> = (0..queries.rows()).map(|i| norm_sq(queries.row(i))).collect();
+    // ||c||^2 is precomputed once and reused for every query, exactly as the
+    // paper stores it alongside the centroids.
+    let p_norms: Vec<f32> = (0..points.rows()).map(|j| norm_sq(points.row(j))).collect();
+    let mut out = Matrix::zeros(queries.rows(), points.rows());
+    for i in 0..queries.rows() {
+        let row = out.row_mut(i);
+        let dot_row = dots.row(i);
+        for j in 0..points.rows() {
+            row[j] = q_norms[i] + p_norms[j] - 2.0 * dot_row[j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gemm_small_known_answer() {
+        // A = [[1,2],[3,4]], B rows are the columns of the right operand:
+        // B = [[5,6],[7,8]] -> C = A x B^T = [[17,23],[39,53]].
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = gemm_nt(&a, &b);
+        assert_eq!(c.as_slice(), &[17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn gemm_blocks_match_naive_on_odd_sizes() {
+        // 37 x 19 x 41: sizes that do not divide the block size.
+        let a = Matrix::from_vec(37, 19, (0..37 * 19).map(|i| (i % 7) as f32 - 3.0).collect());
+        let b = Matrix::from_vec(41, 19, (0..41 * 19).map(|i| (i % 5) as f32 - 2.0).collect());
+        let c = gemm_nt(&a, &b);
+        for i in [0, 17, 36] {
+            for j in [0, 23, 40] {
+                let naive: f32 = (0..19).map(|t| a.row(i)[t] * b.row(j)[t]).sum();
+                assert!((c.row(i)[j] - naive).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn dist_identities() {
+        let p = [1.0, 2.0, 3.0];
+        let q = [4.0, 6.0, 3.0];
+        assert_eq!(dist_sq(&p, &q), 25.0);
+        assert_eq!(dist_sq(&p, &p), 0.0);
+        assert_eq!(norm_sq(&p), 14.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn bad_shape_rejected() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    proptest! {
+        /// Equation 1 == Equation 2: the decomposition is exact (up to f32
+        /// rounding) for every input — the identity the short-list
+        /// accelerator relies on.
+        #[test]
+        fn decomposed_distance_matches_direct(
+            qs in proptest::collection::vec(-10.0f32..10.0, 8 * 4),
+            ps in proptest::collection::vec(-10.0f32..10.0, 8 * 6),
+        ) {
+            let queries = Matrix::from_vec(4, 8, qs);
+            let points = Matrix::from_vec(6, 8, ps);
+            let d = batch_dist_sq(&queries, &points);
+            for i in 0..4 {
+                for j in 0..6 {
+                    let direct = dist_sq(queries.row(i), points.row(j));
+                    let scale = direct.abs().max(1.0);
+                    prop_assert!((d.row(i)[j] - direct).abs() / scale < 1e-3,
+                        "i={i} j={j}: {} vs {direct}", d.row(i)[j]);
+                }
+            }
+        }
+
+        /// GEMM distributes over scalar multiplication of an operand.
+        #[test]
+        fn gemm_scales_linearly(
+            xs in proptest::collection::vec(-4.0f32..4.0, 6 * 5),
+            k in -3.0f32..3.0,
+        ) {
+            let a = Matrix::from_vec(6, 5, xs.clone());
+            let b = Matrix::from_vec(3, 5, xs[..15].to_vec());
+            let scaled = Matrix::from_vec(6, 5, xs.iter().map(|x| x * k).collect());
+            let c1 = gemm_nt(&scaled, &b);
+            let c0 = gemm_nt(&a, &b);
+            for i in 0..6 {
+                for j in 0..3 {
+                    let want = c0.row(i)[j] * k;
+                    prop_assert!((c1.row(i)[j] - want).abs() < 1e-2 * want.abs().max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Principal component analysis — the paper's dimensionality compression.
+//!
+//! "We extract the feature vector from images using the VGGNet neural
+//! network and PCA compression with a dimensionality (D) of 96." This
+//! module implements that offline step: mean-centering, covariance via
+//! Gram accumulation, and the leading eigenvectors by orthogonal power
+//! iteration (subspace iteration) — dependency-free and deterministic.
+
+use crate::linalg::Matrix;
+
+/// A fitted PCA transform.
+///
+/// # Example
+///
+/// ```
+/// use reach_cbir::linalg::Matrix;
+/// use reach_cbir::Pca;
+///
+/// // Points on the x-axis embedded in 3-D: one component explains them.
+/// let data = Matrix::from_vec(4, 3, vec![
+///     1.0, 0.0, 0.0,  2.0, 0.0, 0.0,  3.0, 0.0, 0.0,  4.0, 0.0, 0.0,
+/// ]);
+/// let pca = Pca::fit(&data, 1, 20);
+/// let z = pca.transform(&[2.5, 0.0, 0.0]);
+/// let back = pca.inverse_transform(&z);
+/// assert!((back[0] - 2.5).abs() < 1e-4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pca {
+    mean: Vec<f32>,
+    /// `components x input_dim`, rows orthonormal.
+    components: Matrix,
+}
+
+impl Pca {
+    /// Fits `k` principal components to the rows of `data` using subspace
+    /// iteration with `iters` rounds (20–50 suffices for well-separated
+    /// spectra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the input dimensionality, or if
+    /// fewer than two samples are provided.
+    #[must_use]
+    pub fn fit(data: &Matrix, k: usize, iters: usize) -> Self {
+        let n = data.rows();
+        let d = data.cols();
+        assert!(k > 0 && k <= d, "Pca::fit: k={k} out of range for d={d}");
+        assert!(n >= 2, "Pca::fit: need at least two samples");
+
+        // Mean.
+        let mut mean = vec![0.0f32; d];
+        for i in 0..n {
+            for (m, &x) in mean.iter_mut().zip(data.row(i)) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f32;
+        }
+
+        // Covariance (d x d), accumulated in f64 for stability.
+        let mut cov = vec![0.0f64; d * d];
+        for i in 0..n {
+            let row = data.row(i);
+            for a in 0..d {
+                let xa = f64::from(row[a] - mean[a]);
+                let base = a * d;
+                for b in a..d {
+                    cov[base + b] += xa * f64::from(row[b] - mean[b]);
+                }
+            }
+        }
+        let norm = 1.0 / (n - 1) as f64;
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[a * d + b] * norm;
+                cov[a * d + b] = v;
+                cov[b * d + a] = v;
+            }
+        }
+
+        // Subspace iteration: V <- orth(C V).
+        // Deterministic start: shifted identity columns.
+        let mut v = vec![0.0f64; d * k];
+        for j in 0..k {
+            v[(j % d) * k + j] = 1.0;
+            v[((j + 1) % d) * k + j] = 0.5;
+        }
+        for _ in 0..iters {
+            // W = C * V  (d x k)
+            let mut w = vec![0.0f64; d * k];
+            for a in 0..d {
+                for b in 0..d {
+                    let c = cov[a * d + b];
+                    if c != 0.0 {
+                        for j in 0..k {
+                            w[a * k + j] += c * v[b * k + j];
+                        }
+                    }
+                }
+            }
+            // Gram-Schmidt orthonormalization of W's columns.
+            for j in 0..k {
+                for p in 0..j {
+                    let dot: f64 = (0..d).map(|a| w[a * k + j] * w[a * k + p]).sum();
+                    for a in 0..d {
+                        w[a * k + j] -= dot * w[a * k + p];
+                    }
+                }
+                let norm: f64 = (0..d).map(|a| w[a * k + j] * w[a * k + j]).sum::<f64>().sqrt();
+                if norm > 1e-12 {
+                    for a in 0..d {
+                        w[a * k + j] /= norm;
+                    }
+                } else {
+                    // Degenerate direction: reset to a unit vector.
+                    for a in 0..d {
+                        w[a * k + j] = if a == j % d { 1.0 } else { 0.0 };
+                    }
+                }
+            }
+            v = w;
+        }
+
+        let mut components = Matrix::zeros(k, d);
+        for j in 0..k {
+            for a in 0..d {
+                components.row_mut(j)[a] = v[a * k + j] as f32;
+            }
+        }
+        Pca { mean, components }
+    }
+
+    /// Input dimensionality.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Output dimensionality.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects one vector into the principal subspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    pub fn transform(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input_dim(), "Pca::transform: bad input size");
+        (0..self.output_dim())
+            .map(|j| {
+                self.components
+                    .row(j)
+                    .iter()
+                    .zip(x.iter().zip(&self.mean))
+                    .map(|(c, (xi, m))| c * (xi - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Projects every row of `data`.
+    #[must_use]
+    pub fn transform_batch(&self, data: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(data.rows(), self.output_dim());
+        for i in 0..data.rows() {
+            out.row_mut(i).copy_from_slice(&self.transform(data.row(i)));
+        }
+        out
+    }
+
+    /// Reconstructs an input-space vector from its projection (the
+    /// minimum-error linear reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // components and output walked in lockstep
+    pub fn inverse_transform(&self, y: &[f32]) -> Vec<f32> {
+        assert_eq!(y.len(), self.output_dim(), "Pca::inverse_transform: bad size");
+        let d = self.input_dim();
+        let mut x = self.mean.clone();
+        for j in 0..self.output_dim() {
+            let c = self.components.row(j);
+            for a in 0..d {
+                x[a] += y[j] * c[a];
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dist_sq;
+    use rand::Rng;
+    use reach_sim::rng::seeded;
+
+    /// Data with variance concentrated in two known directions.
+    fn planar_data() -> Matrix {
+        let mut rng = seeded(17);
+        let mut data = Vec::new();
+        for _ in 0..400 {
+            let a: f32 = rng.gen_range(-10.0..10.0);
+            let b: f32 = rng.gen_range(-3.0..3.0);
+            let mut noise = || rng.gen_range(-0.01f32..0.01);
+            // Embed the 2-D signal into 6 dimensions.
+            let mut row = vec![a, b, 0.5 * a, -0.5 * b, 0.0, 0.0];
+            for v in &mut row {
+                *v += noise();
+            }
+            data.append(&mut row);
+        }
+        Matrix::from_vec(400, 6, data)
+    }
+
+    #[test]
+    fn captures_dominant_subspace() {
+        let data = planar_data();
+        let pca = Pca::fit(&data, 2, 40);
+        // Reconstruction from 2 components recovers the 6-D points almost
+        // exactly (all variance lives in a 2-D subspace).
+        let mut worst = 0.0f32;
+        for i in (0..400).step_by(17) {
+            let x = data.row(i);
+            let rec = pca.inverse_transform(&pca.transform(x));
+            worst = worst.max(dist_sq(x, &rec));
+        }
+        assert!(worst < 0.01, "worst reconstruction error {worst}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = planar_data();
+        let pca = Pca::fit(&data, 3, 40);
+        for a in 0..3 {
+            for b in 0..3 {
+                let dot: f32 = pca
+                    .components
+                    .row(a)
+                    .iter()
+                    .zip(pca.components.row(b))
+                    .map(|(x, y)| x * y)
+                    .sum();
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-3, "({a},{b}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_preserves_neighbourhoods() {
+        // The property CBIR relies on: nearest neighbours in input space
+        // stay nearest after PCA when variance is concentrated.
+        let data = planar_data();
+        let pca = Pca::fit(&data, 2, 40);
+        let proj = pca.transform_batch(&data);
+        for qi in [0usize, 50, 100] {
+            let nn_input = (0..data.rows())
+                .filter(|&i| i != qi)
+                .min_by(|&a, &b| {
+                    dist_sq(data.row(qi), data.row(a))
+                        .partial_cmp(&dist_sq(data.row(qi), data.row(b)))
+                        .unwrap()
+                })
+                .unwrap();
+            let nn_proj = (0..proj.rows())
+                .filter(|&i| i != qi)
+                .min_by(|&a, &b| {
+                    dist_sq(proj.row(qi), proj.row(a))
+                        .partial_cmp(&dist_sq(proj.row(qi), proj.row(b)))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(nn_input, nn_proj, "query {qi}: neighbour changed");
+        }
+    }
+
+    #[test]
+    fn transform_is_centered() {
+        let data = planar_data();
+        let pca = Pca::fit(&data, 2, 30);
+        // The projection of the mean itself is ~0.
+        let z = pca.transform(&pca.mean.clone());
+        assert!(z.iter().all(|v| v.abs() < 1e-5), "{z:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = planar_data();
+        let a = Pca::fit(&data, 2, 25);
+        let b = Pca::fit(&data, 2, 25);
+        assert_eq!(a.components.as_slice(), b.components.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_too_large_rejected() {
+        let data = planar_data();
+        let _ = Pca::fit(&data, 7, 5);
+    }
+}

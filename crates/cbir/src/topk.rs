@@ -1,0 +1,122 @@
+//! Partial selection: the top-K smallest distances.
+//!
+//! Both short-list retrieval and rerank end in a partial sort ("a partial
+//! sorting on the computed distances is required to produce the K-nearest
+//! data points"). The implementation keeps a bounded max-heap, so selecting
+//! K from N costs `O(N log K)` instead of a full sort's `O(N log N)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(distance, index)` candidate with a total order suitable for heaps:
+/// NaN distances are rejected at construction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Candidate {
+    dist: f32,
+    index: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order: distance first, index as a deterministic tie-break.
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("NaN rejected at insert")
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+/// Selects the `k` smallest `(distance, index)` pairs, returned in
+/// ascending distance order with index tie-breaks. `k` larger than the
+/// input returns everything.
+///
+/// # Panics
+///
+/// Panics if any distance is NaN (a poisoned distance would silently
+/// corrupt retrieval results).
+///
+/// # Example
+///
+/// ```
+/// let dists = [3.0_f32, 1.0, 2.0, 0.5];
+/// let top = reach_cbir::top_k(dists.iter().copied().enumerate().map(|(i, d)| (d, i)), 2);
+/// assert_eq!(top, vec![(0.5, 3), (1.0, 1)]);
+/// ```
+#[must_use]
+pub fn top_k(items: impl IntoIterator<Item = (f32, usize)>, k: usize) -> Vec<(f32, usize)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    for (dist, index) in items {
+        assert!(!dist.is_nan(), "top_k: NaN distance for index {index}");
+        let c = Candidate { dist, index };
+        if heap.len() < k {
+            heap.push(c);
+        } else if c < *heap.peek().expect("non-empty heap") {
+            heap.pop();
+            heap.push(c);
+        }
+    }
+    let mut out: Vec<Candidate> = heap.into_vec();
+    out.sort_unstable();
+    out.into_iter().map(|c| (c.dist, c.index)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_smallest_in_order() {
+        let d = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let got = top_k(d.iter().copied().enumerate().map(|(i, x)| (x, i)), 3);
+        assert_eq!(got, vec![(1.0, 1), (2.0, 3), (3.0, 4)]);
+    }
+
+    #[test]
+    fn k_zero_and_k_big() {
+        let d = [(1.0, 0), (2.0, 1)];
+        assert!(top_k(d, 0).is_empty());
+        let all = top_k(d, 10);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let d = [(1.0, 2), (1.0, 0), (1.0, 1)];
+        assert_eq!(top_k(d, 2), vec![(1.0, 0), (1.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = top_k([(f32::NAN, 0)], 1);
+    }
+
+    proptest! {
+        /// top_k == sorted prefix, for every input and k.
+        #[test]
+        fn matches_full_sort(
+            dists in proptest::collection::vec(-1e6f32..1e6, 0..200),
+            k in 0usize..32,
+        ) {
+            let items: Vec<(f32, usize)> =
+                dists.iter().copied().enumerate().map(|(i, d)| (d, i)).collect();
+            let got = top_k(items.clone(), k);
+            let mut want = items;
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            want.truncate(k);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The billion-scale CBIR workload descriptor — the geometry the timing
+//! model bills, matching Section V's "CBIR setup" and Table I.
+//!
+//! ## Where each number comes from
+//!
+//! * `batch = 16` query images — "we use a batch of 16 image queries".
+//! * `dim = 96` — VGG features PCA-compressed to D = 96.
+//! * `centroids = 1000` — "k-means to obtain 1000 cluster centroids".
+//! * `candidates_per_query = 4096` — "we compare each query against 4096
+//!   data points based on the short-list".
+//! * `centroid_store_bytes = 2.2 GB` — Table I: "cluster centroids and cell
+//!   info" (the cell info — per-cluster membership metadata over 10^9
+//!   points — dominates; the raw 1000 x 96 x 4 B centroids are only 384 KB).
+//! * `rerank_page_bytes = 4 KiB` — candidate vectors are fetched at flash
+//!   page granularity; one scattered candidate record costs one page of
+//!   traffic regardless of the 384 B payload (read amplification).
+//! * `onchip_sl_restream = 1.7` — the on-chip GeMM tiles the 2.2 GB operand
+//!   through a 77%-utilized BRAM; tile-boundary re-fetch makes total DRAM
+//!   traffic ~1.7x the operand (the paper's "frequent access of off-chip
+//!   DRAM" penalty). Embedded kernels whose shard fits their tile budget
+//!   (`embedded_sl_fit_bytes`) stream it exactly once; a single embedded
+//!   instance holding the whole 2.2 GB pays a factor 2.
+//! * `feature_macs_per_image = 7.75 GMACs` — VGG-16 at 224x224.
+
+use crate::features::VGG16_MACS_PER_IMAGE;
+
+/// The timed CBIR workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CbirWorkload {
+    /// Query images per batch.
+    pub batch: usize,
+    /// Feature dimensionality after PCA.
+    pub dim: usize,
+    /// Number of coarse clusters (centroids).
+    pub centroids: usize,
+    /// Rerank candidates per query.
+    pub candidates_per_query: usize,
+    /// Neighbours returned per query.
+    pub k: usize,
+    /// Bytes of the centroid + cell-info store streamed by short-list
+    /// retrieval.
+    pub centroid_store_bytes: u64,
+    /// Flash/DRAM page billed per scattered rerank candidate.
+    pub rerank_page_bytes: u64,
+    /// MACs per image of feature extraction.
+    pub feature_macs_per_image: u64,
+    /// On-chip short-list re-stream factor (percent, 170 = 1.7x).
+    pub onchip_sl_restream_pct: u32,
+    /// Largest shard an embedded GeMM streams in one pass.
+    pub embedded_sl_fit_bytes: u64,
+}
+
+impl CbirWorkload {
+    /// The paper's evaluation setup (Section V, "CBIR setup").
+    #[must_use]
+    pub fn paper_setup() -> Self {
+        CbirWorkload {
+            batch: 16,
+            dim: 96,
+            centroids: 1000,
+            candidates_per_query: 4096,
+            k: 10,
+            centroid_store_bytes: 2_200_000_000,
+            rerank_page_bytes: 4096,
+            feature_macs_per_image: VGG16_MACS_PER_IMAGE,
+            onchip_sl_restream_pct: 170,
+            embedded_sl_fit_bytes: 1_100_000_000,
+        }
+    }
+
+    /// Total feature-extraction MACs per batch.
+    #[must_use]
+    pub fn feature_macs(&self) -> u64 {
+        self.batch as u64 * self.feature_macs_per_image
+    }
+
+    /// Short-list GEMM MACs per batch (B x D x M).
+    #[must_use]
+    pub fn shortlist_macs(&self) -> u64 {
+        self.batch as u64 * self.dim as u64 * self.centroids as u64
+    }
+
+    /// Rerank distance MACs per batch (B x C x D).
+    #[must_use]
+    pub fn rerank_macs(&self) -> u64 {
+        self.batch as u64 * self.candidates_per_query as u64 * self.dim as u64
+    }
+
+    /// Bytes of one feature vector.
+    #[must_use]
+    pub fn feature_bytes(&self) -> u64 {
+        self.dim as u64 * 4
+    }
+
+    /// Bytes of the feature batch shipped between stages.
+    #[must_use]
+    pub fn feature_batch_bytes(&self) -> u64 {
+        self.batch as u64 * self.feature_bytes()
+    }
+
+    /// Bytes of the per-batch short-list metadata (cluster ids + bounds).
+    #[must_use]
+    pub fn shortlist_result_bytes(&self) -> u64 {
+        self.batch as u64 * 64
+    }
+
+    /// Total rerank bytes per batch: every candidate costs one page.
+    #[must_use]
+    pub fn rerank_bytes(&self) -> u64 {
+        self.batch as u64 * self.candidates_per_query as u64 * self.rerank_page_bytes
+    }
+
+    /// Bytes of the final top-K result returned to the host.
+    #[must_use]
+    pub fn result_bytes(&self) -> u64 {
+        self.batch as u64 * self.k as u64 * 8
+    }
+
+    /// Short-list traffic a single engine streams when it owns `shard`
+    /// bytes of the centroid store: shards beyond the tile budget are
+    /// streamed twice.
+    #[must_use]
+    pub fn embedded_sl_traffic(&self, shard: u64) -> u64 {
+        if shard > self.embedded_sl_fit_bytes {
+            shard * 2
+        } else {
+            shard
+        }
+    }
+
+    /// Short-list traffic of the on-chip engine (tiling re-streams).
+    #[must_use]
+    pub fn onchip_sl_traffic(&self) -> u64 {
+        self.centroid_store_bytes * u64::from(self.onchip_sl_restream_pct) / 100
+    }
+}
+
+impl Default for CbirWorkload {
+    fn default() -> Self {
+        Self::paper_setup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_setup_matches_section5() {
+        let w = CbirWorkload::paper_setup();
+        assert_eq!(w.batch, 16);
+        assert_eq!(w.centroids, 1000);
+        assert_eq!(w.candidates_per_query, 4096);
+        assert_eq!(w.dim, 96);
+    }
+
+    #[test]
+    fn traffic_volumes() {
+        let w = CbirWorkload::paper_setup();
+        // Rerank: 16 x 4096 x 4 KiB = 256 MiB.
+        assert_eq!(w.rerank_bytes(), 16 * 4096 * 4096);
+        // Feature batch: 16 x 96 floats = 6 KiB.
+        assert_eq!(w.feature_batch_bytes(), 16 * 96 * 4);
+        // On-chip GEMM restreams: 2.2 GB x 1.7.
+        assert_eq!(w.onchip_sl_traffic(), 3_740_000_000);
+    }
+
+    #[test]
+    fn embedded_restream_rule() {
+        let w = CbirWorkload::paper_setup();
+        // Whole store on one module: doubled.
+        assert_eq!(w.embedded_sl_traffic(2_200_000_000), 4_400_000_000);
+        // Half the store fits the tile budget: streamed once.
+        assert_eq!(w.embedded_sl_traffic(1_100_000_000), 1_100_000_000);
+        assert_eq!(w.embedded_sl_traffic(550_000_000), 550_000_000);
+    }
+
+    #[test]
+    fn mac_counts_scale_with_batch() {
+        let w = CbirWorkload::paper_setup();
+        assert_eq!(w.feature_macs(), 16 * 7_750_000_000);
+        assert_eq!(w.shortlist_macs(), 16 * 96 * 1000);
+        assert_eq!(w.rerank_macs(), 16 * 4096 * 96);
+    }
+}

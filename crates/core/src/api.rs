@@ -1,0 +1,558 @@
+//! The ReACH programming interface — Listings 1–3 of the paper.
+//!
+//! The paper separates three things the application programmer writes:
+//!
+//! 1. **`ReACH.h`** (Listing 1): `RegisterAcc`, `CreateFixedBuffer`,
+//!    `CreateStream` with *Broadcast / Collect / Pair* patterns — here the
+//!    methods of [`ReachConfig`].
+//! 2. **`config.h`** (Listing 2): the *configuration*, instantiating a meta
+//!    accelerator from templates, placing fixed buffers at levels, wiring
+//!    streams between levels and binding them to kernel arguments with
+//!    `set_arg` — here a built [`ReachConfig`] value.
+//! 3. **`host.cpp`** (Listing 3): the host flow calling `execute` per
+//!    accelerator per batch — here [`Pipeline`], which records the call
+//!    sequence once and replays it per batch.
+//!
+//! The separation is the point: the same [`Pipeline`] runs unmodified on a
+//! machine with a different [`ReachConfig`] (all-on-chip, all-near-memory,
+//! or the proper hierarchical mapping), which is how the paper's Figure 12
+//! and Figure 13 comparisons are produced.
+//!
+//! # Example
+//!
+//! ```
+//! use reach::{Machine, SystemConfig, ReachConfig, Level, StreamType, Pipeline, TaskWork};
+//!
+//! let mut cfg = ReachConfig::new();
+//! let params = cfg.create_fixed_buffer("vgg16_param", Level::OnChip, 11_300_000);
+//! let input = cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 2 << 20, 2);
+//! let feats = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 6144, 2);
+//! let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+//! cfg.set_arg(cnn, 0, input);
+//! cfg.set_arg(cnn, 1, params);
+//! cfg.set_arg(cnn, 2, feats);
+//! let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
+//! cfg.set_arg(knn, 0, feats);
+//!
+//! let mut pipeline = Pipeline::new(cfg);
+//! pipeline.call(cnn, TaskWork::compute(124_000_000_000), "feature-extraction");
+//! pipeline.call(knn, TaskWork::gather(1_000_000, 256 << 20, 4096), "rerank");
+//!
+//! let mut machine = Machine::new(SystemConfig::paper_table2());
+//! let report = pipeline.run(&mut machine, 2);
+//! assert_eq!(report.jobs, 2);
+//! ```
+
+use crate::machine::Machine;
+use crate::report::RunReport;
+use crate::work::TaskWork;
+use reach_accel::ComputeLevel;
+use reach_gam::{JobBuilder, TaskId};
+use reach_sim::SimDuration;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a buffer or stream endpoint lives (Listing 1's `enum Level`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// The cache-coherent on-chip accelerator.
+    OnChip,
+    /// Near-memory (AIM) accelerators.
+    NearMem,
+    /// Near-storage (SSD-attached) accelerators.
+    NearStor,
+    /// The host CPU (stream sources/sinks).
+    Cpu,
+}
+
+impl Level {
+    /// The compute level backing this endpoint; CPU endpoints live in host
+    /// memory, which the hierarchy reaches through the on-chip level.
+    #[must_use]
+    pub fn compute_level(self) -> ComputeLevel {
+        match self {
+            Level::OnChip | Level::Cpu => ComputeLevel::OnChip,
+            Level::NearMem => ComputeLevel::NearMemory,
+            Level::NearStor => ComputeLevel::NearStorage,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::OnChip => "OnChip",
+            Level::NearMem => "NearMem",
+            Level::NearStor => "NearStor",
+            Level::Cpu => "CPU",
+        })
+    }
+}
+
+/// Stream communication patterns (Listing 1's `enum StreamType`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamType {
+    /// One producer, every destination-level accelerator gets a copy.
+    Broadcast,
+    /// Every source-level accelerator contributes; one consumer.
+    Collect,
+    /// One-to-one.
+    Pair,
+}
+
+/// Handle to a registered accelerator (`ReACH::ACC`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Acc(usize);
+
+/// Handle to a fixed buffer (`ReACH::Buffer<T>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FixedBuffer(usize);
+
+/// Handle to a stream (`ReACH::Stream<T>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Stream(usize);
+
+/// Something that can be bound to a kernel argument slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arg {
+    /// A fixed buffer.
+    Buffer(FixedBuffer),
+    /// A stream endpoint.
+    Stream(Stream),
+}
+
+impl From<FixedBuffer> for Arg {
+    fn from(b: FixedBuffer) -> Arg {
+        Arg::Buffer(b)
+    }
+}
+impl From<Stream> for Arg {
+    fn from(s: Stream) -> Arg {
+        Arg::Stream(s)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct AccEntry {
+    template: String,
+    level: Level,
+    args: Vec<(usize, Arg)>,
+}
+
+#[derive(Clone, Debug)]
+struct BufferEntry {
+    name: String,
+    level: Level,
+    bytes: u64,
+}
+
+#[derive(Clone, Debug)]
+struct StreamEntry {
+    src: Level,
+    dst: Level,
+    /// Pattern, recorded for validation and debugging dumps; the GAM's
+    /// per-level copy dedup realizes broadcast/collect semantics.
+    #[allow(dead_code)]
+    ty: StreamType,
+    bytes: u64,
+    /// Queue depth (double-buffering); recorded for future backpressure
+    /// modelling.
+    #[allow(dead_code)]
+    depth: usize,
+}
+
+/// A ReACH configuration: registered accelerators, fixed buffers, streams
+/// and argument bindings — the contents of the paper's `config.h`.
+#[derive(Clone, Debug, Default)]
+pub struct ReachConfig {
+    accs: Vec<AccEntry>,
+    buffers: Vec<BufferEntry>,
+    streams: Vec<StreamEntry>,
+}
+
+impl ReachConfig {
+    /// An empty configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `RegisterAcc(template, level)`: requests an accelerator instance of
+    /// `template` at `level`. Registering the same template twice creates
+    /// two logical accelerators (like `knn0` / `knn1` in Listing 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is [`Level::Cpu`] — the CPU is not an accelerator.
+    pub fn register_acc(&mut self, template: &str, level: Level) -> Acc {
+        assert!(level != Level::Cpu, "register_acc: CPU is not an accelerator level");
+        self.accs.push(AccEntry {
+            template: template.to_string(),
+            level,
+            args: Vec::new(),
+        });
+        Acc(self.accs.len() - 1)
+    }
+
+    /// `CreateFixedBuffer(path, level, size)`: declares data pre-placed in
+    /// `level`'s memory during configuration (the runtime loads it from the
+    /// file system before the pipeline starts, so it is *sedentary* at run
+    /// time — the paper's key mechanism for limiting data movement).
+    pub fn create_fixed_buffer(&mut self, name: &str, level: Level, bytes: u64) -> FixedBuffer {
+        self.buffers.push(BufferEntry {
+            name: name.to_string(),
+            level,
+            bytes,
+        });
+        FixedBuffer(self.buffers.len() - 1)
+    }
+
+    /// `CreateStream(src, dst, type, size, depth)`: a communication buffer
+    /// between two levels, realized as a queue pair in both levels' memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn create_stream(
+        &mut self,
+        src: Level,
+        dst: Level,
+        ty: StreamType,
+        bytes: u64,
+        depth: usize,
+    ) -> Stream {
+        assert!(depth > 0, "create_stream: zero depth");
+        self.streams.push(StreamEntry {
+            src,
+            dst,
+            ty,
+            bytes,
+            depth,
+        });
+        Stream(self.streams.len() - 1)
+    }
+
+    /// `acc.setArgs(index, arg)`: binds a buffer or stream to a kernel
+    /// argument slot.
+    ///
+    /// Binding a fixed buffer that lives at a *different* level is legal —
+    /// it means the GAM must move the data before each execution, which is
+    /// exactly the cost the hierarchy exists to avoid (and the cost the
+    /// single-level baselines pay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stream neither starts nor ends at the accelerator's
+    /// level.
+    pub fn set_arg(&mut self, acc: Acc, index: usize, arg: impl Into<Arg>) {
+        let arg = arg.into();
+        let level = self.accs[acc.0].level;
+        match arg {
+            Arg::Buffer(_) => {}
+            Arg::Stream(s) => {
+                let entry = &self.streams[s.0];
+                assert!(
+                    entry.src == level || entry.dst == level,
+                    "set_arg: stream {}->{} does not touch level {}",
+                    entry.src,
+                    entry.dst,
+                    level
+                );
+            }
+        }
+        self.accs[acc.0].args.push((index, arg));
+    }
+
+    /// Number of registered accelerators.
+    #[must_use]
+    pub fn acc_count(&self) -> usize {
+        self.accs.len()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Call {
+    acc: Acc,
+    work: TaskWork,
+    stage: String,
+}
+
+/// The host-side flow (Listing 3): a recorded sequence of `execute` calls
+/// replayed once per batch, with inter-call dependencies derived from the
+/// stream wiring.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    config: ReachConfig,
+    calls: Vec<Call>,
+}
+
+impl Pipeline {
+    /// Wraps a finished configuration.
+    #[must_use]
+    pub fn new(config: ReachConfig) -> Self {
+        Pipeline {
+            config,
+            calls: Vec::new(),
+        }
+    }
+
+    /// Records `acc.execute()` with the given work, labelled `stage` for
+    /// time/energy accounting. Returns `&mut self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale.
+    pub fn call(&mut self, acc: Acc, work: TaskWork, stage: &str) -> &mut Self {
+        assert!(acc.0 < self.config.acc_count(), "Pipeline::call: stale handle");
+        self.calls.push(Call {
+            acc,
+            work,
+            stage: stage.to_string(),
+        });
+        self
+    }
+
+    /// The configuration this pipeline runs on.
+    #[must_use]
+    pub fn config(&self) -> &ReachConfig {
+        &self.config
+    }
+
+    /// Runs `batches` batches through `machine` and reports.
+    ///
+    /// All batches are enqueued up front; the GAM pipelines across batches
+    /// wherever dependencies allow, so throughput reflects the longest
+    /// stage rather than the sum of stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline is empty, a template cannot be resolved, or
+    /// `batches` is zero.
+    pub fn run(&self, machine: &mut Machine, batches: usize) -> RunReport {
+        assert!(batches > 0, "Pipeline::run: zero batches");
+        assert!(!self.calls.is_empty(), "Pipeline::run: empty pipeline");
+        for batch in 0..batches {
+            let (job, works) = self.build_job(machine, batch as u64);
+            machine.submit(job, works);
+        }
+        machine.run()
+    }
+
+    /// Runs `batches` batches *synchronously*: each batch completes before
+    /// the next is submitted. This is the conventional host-driven
+    /// accelerator flow — no GAM cross-job pipelining — used as the paper's
+    /// on-chip baseline.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pipeline::run`].
+    pub fn run_sequential(&self, machine: &mut Machine, batches: usize) -> RunReport {
+        assert!(batches > 0, "Pipeline::run_sequential: zero batches");
+        assert!(!self.calls.is_empty(), "Pipeline::run_sequential: empty pipeline");
+        let mut report = None;
+        for batch in 0..batches {
+            let (job, works) = self.build_job(machine, batch as u64);
+            machine.submit(job, works);
+            report = Some(machine.run());
+        }
+        report.expect("at least one batch ran")
+    }
+
+    /// Builds the GAM job and work descriptors for one batch without
+    /// submitting it — used by deferred-submission drivers such as
+    /// [`crate::host::drive`].
+    #[must_use]
+    pub fn job_for_batch(
+        &self,
+        machine: &Machine,
+        batch: u64,
+    ) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
+        self.build_job(machine, batch)
+    }
+
+    /// Builds the GAM job for one batch.
+    fn build_job(&self, machine: &Machine, batch: u64) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
+        let mut b = JobBuilder::new(batch);
+        let mut works = HashMap::new();
+
+        // Declare fixed buffers (resident at their level).
+        let fixed: Vec<_> = self
+            .config
+            .buffers
+            .iter()
+            .map(|buf| b.buffer(&buf.name, buf.bytes, Some(buf.level.compute_level())))
+            .collect();
+
+        // Declare stream buffers. A stream whose source is the CPU starts
+        // resident in host memory; all others are produced by a task.
+        let streams: Vec<_> = self
+            .config
+            .streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let resident = (s.src == Level::Cpu).then(|| s.src.compute_level());
+                b.buffer(&format!("stream{i}"), s.bytes, resident)
+            })
+            .collect();
+
+        // Producer map: which call indices write each stream (several, for
+        // collect-pattern streams fed by sharded accelerators). For a
+        // same-level Pair stream the first call touching it is the
+        // producer; later calls consume.
+        let mut producer: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (ci, call) in self.calls.iter().enumerate() {
+            let acc = &self.config.accs[call.acc.0];
+            for (_, arg) in &acc.args {
+                if let Arg::Stream(s) = arg {
+                    let entry = &self.config.streams[s.0];
+                    let produces = if entry.src == entry.dst {
+                        producer.get(&s.0).is_none_or(|v| v == &[ci])
+                    } else {
+                        entry.src == acc.level
+                    };
+                    if produces {
+                        let v = producer.entry(s.0).or_default();
+                        if !v.contains(&ci) {
+                            v.push(ci);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Emit tasks in call order with stream-derived dependencies.
+        let mut task_ids: Vec<TaskId> = Vec::new();
+        for (ci, call) in self.calls.iter().enumerate() {
+            let acc = &self.config.accs[call.acc.0];
+            let level = acc.level.compute_level();
+            let kernel = machine
+                .registry()
+                .resolve(&acc.template, level)
+                .unwrap_or_else(|| panic!("Pipeline: unknown template {} at {level}", acc.template));
+
+            let mut inputs = Vec::new();
+            let mut outputs = Vec::new();
+            let mut deps = Vec::new();
+            for (_, arg) in &acc.args {
+                match arg {
+                    Arg::Buffer(fb) => inputs.push(fixed[fb.0]),
+                    Arg::Stream(s) => {
+                        let entry = &self.config.streams[s.0];
+                        let is_producer = producer
+                            .get(&s.0)
+                            .is_some_and(|v| v.contains(&ci));
+                        let same_level = entry.src == entry.dst;
+                        if (same_level && is_producer)
+                            || (!same_level && entry.src == acc.level)
+                        {
+                            outputs.push(streams[s.0]);
+                        } else {
+                            inputs.push(streams[s.0]);
+                            for &p in producer.get(&s.0).map_or(&[][..], Vec::as_slice) {
+                                if p < ci {
+                                    deps.push(task_ids[p]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Estimate: kernel model without contention (the "synthesis
+            // report" estimate the GAM progress table uses for polls).
+            let mut est = kernel.compute_time(call.work.macs);
+            if let Some(rate) = kernel.io_rate_bytes_per_sec() {
+                let data =
+                    SimDuration::from_secs_f64(call.work.access.bytes() as f64 / rate);
+                est = est.max(data);
+            }
+
+            let id = b.task(&call.stage, &acc.template, level, est, inputs, outputs, deps);
+            works.insert(id, call.work.clone());
+            task_ids.push(id);
+        }
+        (b.build(), works)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn simple_pipeline() -> Pipeline {
+        let mut cfg = ReachConfig::new();
+        let feats = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 6144, 2);
+        let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        cfg.set_arg(cnn, 0, feats);
+        let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
+        cfg.set_arg(knn, 0, feats);
+        let mut p = Pipeline::new(cfg);
+        p.call(cnn, TaskWork::compute(10_000_000_000), "fe");
+        p.call(knn, TaskWork::stream(1_000_000, 64 << 20), "rr");
+        p
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let mut machine = Machine::new(SystemConfig::paper_table2());
+        let report = simple_pipeline().run(&mut machine, 1);
+        assert_eq!(report.jobs, 1);
+        assert!(report.stage("fe").is_some());
+        assert!(report.stage("rr").is_some());
+        // The rerank stage cannot start before feature extraction ends.
+        let fe = report.stage("fe").unwrap().window.1;
+        let rr = report.stage("rr").unwrap().window.0;
+        assert!(rr >= fe, "dependency violated: rr {rr:?} before fe end {fe:?}");
+    }
+
+    #[test]
+    fn batches_pipeline_for_throughput() {
+        let mut m1 = Machine::new(SystemConfig::paper_table2());
+        let one = simple_pipeline().run(&mut m1, 1);
+        let mut m8 = Machine::new(SystemConfig::paper_table2());
+        let eight = simple_pipeline().run(&mut m8, 8);
+        // Eight batches must take far less than eight times one batch.
+        let speedup =
+            8.0 * one.makespan.as_secs_f64() / eight.makespan.as_secs_f64();
+        assert!(speedup > 1.5, "no cross-batch pipelining: {speedup}");
+    }
+
+    #[test]
+    fn level_mapping() {
+        assert_eq!(Level::Cpu.compute_level(), ComputeLevel::OnChip);
+        assert_eq!(Level::NearMem.compute_level(), ComputeLevel::NearMemory);
+        assert_eq!(Level::NearStor.compute_level(), ComputeLevel::NearStorage);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPU is not an accelerator")]
+    fn cpu_accelerator_rejected() {
+        ReachConfig::new().register_acc("X", Level::Cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not touch level")]
+    fn unrelated_stream_binding_rejected() {
+        let mut cfg = ReachConfig::new();
+        let s = cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 64, 1);
+        let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
+        cfg.set_arg(knn, 0, s);
+    }
+
+    #[test]
+    fn cross_level_buffer_binding_is_a_transfer() {
+        // A near-storage-resident database bound to an on-chip kernel is
+        // legal; the GAM stages it up the hierarchy (and the run pays).
+        let mut cfg = ReachConfig::new();
+        let buf = cfg.create_fixed_buffer("db", Level::NearStor, 64 << 20);
+        let knn = cfg.register_acc("KNN-VU9P", Level::OnChip);
+        cfg.set_arg(knn, 0, buf);
+        let mut p = Pipeline::new(cfg);
+        p.call(knn, TaskWork::gather(1_000_000, 64 << 20, 4096), "rr");
+        let mut m = Machine::new(SystemConfig::paper_table2());
+        let r = p.run(&mut m, 1);
+        assert!(r.gam.dmas >= 1, "expected a GAM staging DMA");
+    }
+}

@@ -1,0 +1,73 @@
+//! # reach — the Reconfigurable Accelerator Compute Hierarchy
+//!
+//! This crate is the paper's primary contribution as a library: a compute
+//! hierarchy that combines **on-chip**, **near-memory** and **near-storage**
+//! reconfigurable accelerators, coordinated by a hardware **Global
+//! Accelerator Manager** (GAM), programmed through a uniform library
+//! interface that decouples the application from the hierarchy
+//! configuration.
+//!
+//! ## Layers
+//!
+//! * [`config`] — [`SystemConfig`]: the machine shape (Table II of the
+//!   paper) plus the handful of microarchitectural rates the experiments
+//!   depend on.
+//! * [`work`] — [`TaskWork`]/[`DataAccess`]: how a task touches data
+//!   (stream / gather / resident) and how many MACs it performs; the machine
+//!   turns this plus the kernel template into an actual duration.
+//! * [`machine`] — [`Machine`]: the full-system model. It executes
+//!   [`reach_gam::GamAction`]s against the timing substrates (DDR4 DIMMs,
+//!   the shared LLC, AIM modules and AIMbus, the host PCIe switch, NVMe
+//!   SSDs, FPGA slots) and accounts component-by-stage usage for the energy
+//!   ledger.
+//! * [`report`] — [`RunReport`]: makespan, per-stage times, throughput /
+//!   latency and the energy ledger of a run.
+//! * [`api`] — the programming interface of Listings 1–3: `Level`,
+//!   `StreamType`, `ReachConfig` (buffers, streams, accelerator
+//!   registration, `set_arg` bindings) and the host-side `Pipeline` driver.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reach::{Machine, SystemConfig, TaskWork, DataAccess};
+//! use reach_gam::JobBuilder;
+//! use reach_accel::ComputeLevel;
+//! use reach_sim::SimDuration;
+//!
+//! let mut machine = Machine::new(SystemConfig::paper_table2());
+//! let mut job = JobBuilder::new(0);
+//! let t = job.task("demo", "VGG16-VU9P", ComputeLevel::OnChip,
+//!                  SimDuration::from_ms(100), vec![], vec![], vec![]);
+//! machine.submit(job.build(), [(t, TaskWork {
+//!     macs: 16 * 7_750_000_000,
+//!     access: DataAccess::None,
+//!     stage_label: None,
+//! })].into());
+//! let report = machine.run();
+//! assert!((report.makespan.as_ms_f64() - 100.0).abs() < 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod config;
+pub mod host;
+pub mod machine;
+pub mod report;
+pub mod trace;
+pub mod work;
+
+pub use api::{Level, Pipeline, ReachConfig, StreamType};
+pub use config::SystemConfig;
+pub use host::{ArrivalProcess, Batcher};
+pub use machine::Machine;
+pub use report::{RunReport, StageSummary};
+pub use trace::{Trace, TraceEvent, TraceKind};
+pub use work::{DataAccess, TaskWork};
+
+// Re-export the vocabulary types users need alongside the API.
+pub use reach_accel::{AcceleratorId, ComputeLevel, KernelSpec, TemplateRegistry};
+pub use reach_energy::{EnergyLedger, SystemComponent};
+pub use reach_gam::{Job, JobBuilder, JobId, TaskId};
+pub use reach_sim::{SimDuration, SimTime};

@@ -1,0 +1,1073 @@
+//! The full-system machine model.
+//!
+//! `Machine` wires every substrate together — host memory controller and
+//! LLC, the near-memory controller with AIM modules and the AIMbus, the
+//! host PCIe switch with its NVMe near-storage units, the FPGA slots at all
+//! three levels — and drives the [`Gam`] state machine over a deterministic
+//! event queue. GAM actions are *priced* against resource calendars, so
+//! queueing, saturation and cross-stage interference come out of contention
+//! rather than closed-form formulas.
+//!
+//! ## Task pricing
+//!
+//! A dispatched task's duration is `max(compute, data)`:
+//!
+//! * compute comes from the kernel's MAC-rate model
+//!   ([`reach_accel::KernelSpec::compute_time`]),
+//! * data depends on the level x access-pattern pair, e.g. an on-chip
+//!   `Stream` is priced against the host channels *and* the coherent-path
+//!   effective rate, a near-memory `Stream` against the module's own DIMM,
+//!   a near-storage `Gather` against flash page latency, queue depth and the
+//!   kernel's datapath width.
+//!
+//! ## Completion observation
+//!
+//! On-chip tasks complete through the coherent interconnect at their true
+//! finish time. Near-memory and near-storage tasks are observed *by status
+//! poll*: the GAM sends a status packet when the estimated runtime elapses,
+//! and an unfinished task answers with a new wait time — so a task's
+//! effective latency is quantized by the polling protocol, exactly as in the
+//! paper's Figure 5 design.
+
+use crate::config::SystemConfig;
+use crate::report::{RunReport, StageSummary};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::work::{DataAccess, TaskWork};
+use reach_accel::{Accelerator, AcceleratorId, ComputeLevel, TemplateRegistry};
+use reach_energy::{EnergyLedger, EnergyPresets, SystemComponent};
+use reach_gam::manager::{DmaId, Gam, GamAction};
+use reach_gam::{Job, JobId, TaskId};
+use reach_mem::{AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig};
+use reach_sim::{EventQueue, SimDuration, SimTime};
+use reach_storage::{NearStorageDevice, PcieSwitch};
+use std::collections::{BTreeMap, HashMap};
+
+/// Events the machine schedules for itself.
+#[derive(Clone, Debug)]
+enum Event {
+    /// An on-chip task reached its true completion.
+    TaskDone { task: TaskId },
+    /// A GAM status poll fires for an off-chip task.
+    Poll { task: TaskId },
+    /// A GAM-initiated DMA finished.
+    DmaDone { id: DmaId },
+    /// A deferred job submission (host-side arrival) comes due.
+    SubmitJob { index: usize },
+}
+
+/// Per-stage usage accounting used to build the energy ledger.
+#[derive(Clone, Debug, Default)]
+struct StageAcct {
+    acc_active_j: f64,
+    acc_busy: SimDuration,
+    tasks: u64,
+    window: Option<(SimTime, SimTime)>,
+    cache_accesses: u64,
+    dram_bytes: u64,
+    dram_activations: u64,
+    ssd_bytes: u64,
+    ssd_busy: SimDuration,
+    interconnect_bytes: u64,
+    pcie_bytes: u64,
+}
+
+impl StageAcct {
+    fn widen(&mut self, start: SimTime, end: SimTime) {
+        self.window = Some(match self.window {
+            None => (start, end),
+            Some((s, e)) => (s.min(start), e.max(end)),
+        });
+    }
+}
+
+struct TaskMeta {
+    work: TaskWork,
+    stage: String,
+    actual_finish: Option<SimTime>,
+    acc: Option<AcceleratorId>,
+}
+
+struct DmaMeta {
+    /// Stage the transfer was billed to (kept for debugging dumps).
+    #[allow(dead_code)]
+    stage: String,
+}
+
+/// The assembled ReACH machine.
+///
+/// See the crate-level docs for a runnable example.
+pub struct Machine {
+    cfg: SystemConfig,
+    presets: EnergyPresets,
+    registry: TemplateRegistry,
+    host_mc: MemoryController,
+    nm_mc: MemoryController,
+    noc: Noc,
+    onchip_tlb: Tlb,
+    aim_modules: Vec<AimModule>,
+    aimbus: AimBus,
+    host_switch: PcieSwitch,
+    ns_devices: Vec<NearStorageDevice>,
+    accelerators: BTreeMap<AcceleratorId, Accelerator>,
+    acc_stage_busy: BTreeMap<(AcceleratorId, String), SimDuration>,
+    gam: Gam,
+    queue: EventQueue<Event>,
+    tasks: HashMap<TaskId, TaskMeta>,
+    task_template: HashMap<TaskId, String>,
+    dmas: HashMap<DmaId, DmaMeta>,
+    job_submit: BTreeMap<JobId, SimTime>,
+    job_done: BTreeMap<JobId, SimTime>,
+    job_latency: Vec<SimDuration>,
+    stages: BTreeMap<String, StageAcct>,
+    ns_cursor: u64,
+    deferred: Vec<Option<Job>>,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration, with the paper's Table III
+    /// template registry and Table IV energy presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self::with_registry(cfg, TemplateRegistry::paper_table3())
+    }
+
+    /// Builds a machine with a custom template registry (for user kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate.
+    #[must_use]
+    pub fn with_registry(cfg: SystemConfig, registry: TemplateRegistry) -> Self {
+        cfg.validate();
+        let mut gam = Gam::new(cfg.gam);
+        let mut accelerators = BTreeMap::new();
+        let mut register = |level: ComputeLevel, count: usize| {
+            for index in 0..count {
+                let id = AcceleratorId { level, index };
+                gam.register_instance(id);
+                accelerators.insert(id, Accelerator::new(id, cfg.reconfig_delay));
+            }
+        };
+        register(ComputeLevel::OnChip, cfg.onchip_accelerators);
+        register(ComputeLevel::NearMemory, cfg.near_memory_accelerators);
+        register(ComputeLevel::NearStorage, cfg.near_storage_accelerators);
+
+        let nm_mc_cfg = cfg.nm_mc();
+        let aim_modules = (0..cfg.near_memory_accelerators)
+            .map(|i| AimModule::new(i % nm_mc_cfg.channels, i / nm_mc_cfg.channels))
+            .collect();
+
+        Machine {
+            presets: EnergyPresets::paper_table4(),
+            registry,
+            host_mc: MemoryController::new(cfg.host_mc),
+            nm_mc: MemoryController::new(nm_mc_cfg),
+            noc: Noc::new(NocConfig::paper_default()),
+            onchip_tlb: Tlb::new(TlbConfig {
+                entries: cfg.onchip_tlb_entries,
+                page_bytes: 4 << 10,
+            }),
+            aim_modules,
+            aimbus: AimBus::new(cfg.aimbus_bandwidth, cfg.aimbus_latency),
+            host_switch: PcieSwitch::paper_host_io(),
+            ns_devices: (0..cfg.near_storage_accelerators)
+                .map(|_| NearStorageDevice::new(cfg.ns_device))
+                .collect(),
+            accelerators,
+            acc_stage_busy: BTreeMap::new(),
+            gam: Gam::new(cfg.gam),
+            queue: EventQueue::new(),
+            tasks: HashMap::new(),
+            task_template: HashMap::new(),
+            dmas: HashMap::new(),
+            job_submit: BTreeMap::new(),
+            job_done: BTreeMap::new(),
+            job_latency: Vec::new(),
+            stages: BTreeMap::new(),
+            ns_cursor: 0,
+            deferred: Vec::new(),
+            trace: None,
+            cfg,
+        }
+        .install_gam(gam)
+    }
+
+    fn install_gam(mut self, gam: Gam) -> Self {
+        self.gam = gam;
+        self
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The template registry in use.
+    #[must_use]
+    pub fn registry(&self) -> &TemplateRegistry {
+        &self.registry
+    }
+
+    /// Starts recording a timeline of task executions, DMA transfers and
+    /// status polls (see [`crate::trace`]). Call before submitting work.
+    pub fn enable_trace(&mut self) {
+        self.trace.get_or_insert_with(Trace::new);
+    }
+
+    /// The recorded timeline, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Submits a job with the work descriptors for each of its tasks.
+    /// Multiple jobs may be submitted before [`Machine::run`]; the GAM
+    /// pipelines them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task has no work descriptor or references an unknown
+    /// template.
+    pub fn submit(&mut self, job: Job, works: HashMap<TaskId, TaskWork>) {
+        for t in &job.tasks {
+            let work = works
+                .get(&t.id)
+                .unwrap_or_else(|| panic!("Machine::submit: no TaskWork for {}", t.id));
+            assert!(
+                self.registry.resolve(&t.template, t.level).is_some(),
+                "Machine::submit: unknown template {} at {}",
+                t.template,
+                t.level
+            );
+            let stage = work.stage_label.clone().unwrap_or_else(|| t.stage.clone());
+            self.task_template.insert(t.id, t.template.clone());
+            self.tasks.insert(
+                t.id,
+                TaskMeta {
+                    work: work.clone(),
+                    stage,
+                    actual_finish: None,
+                    acc: None,
+                },
+            );
+        }
+        self.job_submit.insert(job.id, self.queue.now());
+        let actions = self.gam.submit_job(job);
+        self.process_actions(actions);
+    }
+
+    /// Schedules a job to be submitted to the GAM at a future instant —
+    /// the host-side arrival of a new query batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Machine::submit`], or if `at`
+    /// is in the simulated past.
+    pub fn submit_at(&mut self, at: SimTime, job: Job, works: HashMap<TaskId, TaskWork>) {
+        for t in &job.tasks {
+            let work = works
+                .get(&t.id)
+                .unwrap_or_else(|| panic!("Machine::submit_at: no TaskWork for {}", t.id));
+            assert!(
+                self.registry.resolve(&t.template, t.level).is_some(),
+                "Machine::submit_at: unknown template {} at {}",
+                t.template,
+                t.level
+            );
+            let stage = work.stage_label.clone().unwrap_or_else(|| t.stage.clone());
+            self.task_template.insert(t.id, t.template.clone());
+            self.tasks.insert(
+                t.id,
+                TaskMeta {
+                    work: work.clone(),
+                    stage,
+                    actual_finish: None,
+                    acc: None,
+                },
+            );
+        }
+        let index = self.deferred.len();
+        self.deferred.push(Some(job));
+        self.queue.push(at, Event::SubmitJob { index });
+    }
+
+    /// Drains the event queue and produces the run report.
+    pub fn run(&mut self) -> RunReport {
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Event::TaskDone { task } => {
+                    let actions = self.gam.complete(task);
+                    self.record_host_interrupts(&actions, now);
+                    self.process_actions(actions);
+                }
+                Event::Poll { task } => {
+                    let af = self.tasks[&task]
+                        .actual_finish
+                        .expect("polled task has a finish time");
+                    if let Some(trace) = &mut self.trace {
+                        let meta = &self.tasks[&task];
+                        let acc = meta.acc.expect("polled task placed");
+                        trace.record(TraceEvent {
+                            name: format!("poll {}", meta.stage),
+                            kind: TraceKind::Poll,
+                            track: acc.level.to_string(),
+                            lane: acc.index,
+                            start: now,
+                            duration: self.cfg.gam.poll_latency,
+                        });
+                    }
+                    if af <= now {
+                        let actions = self.gam.complete(task);
+                        self.record_host_interrupts(&actions, now);
+                        self.process_actions(actions);
+                    } else {
+                        let actions = self.gam.poll_missed(task, now, af.since(now));
+                        self.process_actions(actions);
+                    }
+                }
+                Event::DmaDone { id } => {
+                    let actions = self.gam.dma_finished(id);
+                    self.process_actions(actions);
+                }
+                Event::SubmitJob { index } => {
+                    let job = self.deferred[index]
+                        .take()
+                        .expect("deferred job submitted twice");
+                    self.job_submit.insert(job.id, now);
+                    let actions = self.gam.submit_job(job);
+                    self.process_actions(actions);
+                }
+            }
+        }
+        assert!(self.gam.idle(), "Machine::run: queue drained but GAM not idle");
+        self.report()
+    }
+
+    fn record_host_interrupts(&mut self, actions: &[GamAction], now: SimTime) {
+        for a in actions {
+            if let GamAction::HostInterrupt { job } = a {
+                let submitted = self.job_submit[job];
+                self.job_latency.push(now.since(submitted));
+                self.job_done.insert(*job, now);
+            }
+        }
+    }
+
+    fn process_actions(&mut self, actions: Vec<GamAction>) {
+        for action in actions {
+            match action {
+                GamAction::Dispatch { acc, task } => self.dispatch(acc, task),
+                GamAction::Dma {
+                    id,
+                    buffer: _,
+                    bytes,
+                    from,
+                    to,
+                    dest,
+                } => self.start_dma(id, bytes, from, to, dest),
+                GamAction::Poll { task, at, .. } => {
+                    self.queue.push(at.max(self.queue.now()), Event::Poll { task });
+                }
+                GamAction::HostInterrupt { .. } => { /* recorded by the caller */ }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Task dispatch and pricing
+    // ----------------------------------------------------------------- //
+
+    fn dispatch(&mut self, acc_id: AcceleratorId, task: TaskId) {
+        let (stage, work) = {
+            let meta = &self.tasks[&task];
+            (meta.stage.clone(), meta.work.clone())
+        };
+        let kernel = self.resolve_kernel(task, acc_id.level);
+        let now = self.queue.now();
+        let command = self.cfg.gam.command_latency;
+        let accel = self
+            .accelerators
+            .get_mut(&acc_id)
+            .expect("dispatch to registered accelerator");
+        let ready = accel.load(now + command, kernel.clone());
+
+        let compute = kernel.compute_time(work.macs);
+        let io_rate = kernel.io_rate_bytes_per_sec();
+        let data_end = self.price_data(acc_id, ready, &work.access, io_rate, &stage);
+        let duration = compute.max(data_end.since(ready));
+
+        let accel = self
+            .accelerators
+            .get_mut(&acc_id)
+            .expect("accelerator exists");
+        let res = accel.run(ready, duration);
+        let finish = res.ready;
+
+        // Accounting.
+        let power = kernel.power_w;
+        let acct = self.stages.entry(stage.clone()).or_default();
+        acct.acc_active_j += power * duration.as_secs_f64();
+        acct.acc_busy += duration;
+        acct.tasks += 1;
+        acct.widen(res.start, finish);
+        *self
+            .acc_stage_busy
+            .entry((acc_id, stage.clone()))
+            .or_insert(SimDuration::ZERO) += duration;
+
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                name: stage.clone(),
+                kind: TraceKind::Task,
+                track: acc_id.level.to_string(),
+                lane: acc_id.index,
+                start: res.start,
+                duration: finish.since(res.start),
+            });
+        }
+        let meta = self.tasks.get_mut(&task).expect("task meta");
+        meta.actual_finish = Some(finish);
+        meta.acc = Some(acc_id);
+
+        // Completion observation: direct for on-chip, polled otherwise.
+        match acc_id.level {
+            ComputeLevel::OnChip => self.queue.push(finish, Event::TaskDone { task }),
+            _ => {
+                let actions = self.gam.task_started(task, res.start);
+                self.process_actions(actions);
+            }
+        }
+    }
+
+    fn resolve_kernel(&self, task: TaskId, level: ComputeLevel) -> reach_accel::KernelSpec {
+        // The template string is stored on the GAM task; we kept a parallel
+        // copy at submit time through validation, so scan the registry for
+        // the level and template recorded then.
+        let name = self
+            .task_template
+            .get(&task)
+            .expect("template recorded at submit");
+        self.registry
+            .resolve(name, level)
+            .unwrap_or_else(|| panic!("template {name} not found at {level}"))
+            .clone()
+    }
+
+    /// Prices the data movement of `access` performed from level
+    /// `acc.level`, starting at `ready`; returns when the last byte is
+    /// consumed. Also bills per-stage usage counters.
+    fn price_data(
+        &mut self,
+        acc: AcceleratorId,
+        ready: SimTime,
+        access: &DataAccess,
+        io_rate: Option<f64>,
+        stage: &str,
+    ) -> SimTime {
+        let bytes = access.bytes();
+        if bytes == 0 {
+            return ready;
+        }
+        let kernel_floor = |b: u64| match io_rate {
+            Some(r) => SimDuration::from_secs_f64(b as f64 / r),
+            None => SimDuration::ZERO,
+        };
+
+        match (acc.level, access) {
+            (_, DataAccess::None) => ready,
+            (_, DataAccess::Resident { bytes }) => {
+                // Consumed from the level's stream buffer / SPM.
+                ready + kernel_floor(*bytes)
+            }
+            (ComputeLevel::OnChip, DataAccess::Stream { bytes }) => {
+                let res = self.host_mc.stream(ready, 0, *bytes, AccessKind::Read);
+                let noc = self
+                    .noc
+                    .transfer(ready, NocPort::Cache, NocPort::Accelerator, *bytes);
+                let coherent =
+                    SimDuration::from_secs_f64(*bytes as f64 / self.cfg.onchip_stream_rate());
+                let acct = self.stages.entry(stage.to_string()).or_default();
+                acct.dram_bytes += bytes;
+                acct.dram_activations += bytes / self.cfg.host_mc.dimm.row_bytes;
+                acct.interconnect_bytes += bytes;
+                acct.cache_accesses += bytes / self.cfg.cache.line_bytes;
+                res.complete
+                    .max(noc.complete)
+                    .max(ready + coherent)
+                    .max(ready + kernel_floor(*bytes))
+            }
+            (ComputeLevel::OnChip, DataAccess::Gather { bytes, granule }) => {
+                let res = self.host_mc.stream(ready, 0, *bytes, AccessKind::Read);
+                let noc = self
+                    .noc
+                    .transfer(ready, NocPort::Cache, NocPort::Accelerator, *bytes);
+                let records = bytes / (*granule).max(1);
+                let mshr = self.cfg.onchip_gather_mshr;
+                // Address translation: page walks ride the gather's critical
+                // path (Figure 2's TLB + page-table walkers). The touched
+                // span is conservatively the whole gathered range.
+                let walks = self
+                    .onchip_tlb
+                    .estimated_walks(records, *granule, *bytes);
+                let latency_bound = (self
+                    .cfg
+                    .onchip_gather_latency
+                    .scaled(records)
+                    + self.cfg.page_walk_latency.scaled(walks))
+                .div_ceil(mshr);
+                let acct = self.stages.entry(stage.to_string()).or_default();
+                acct.dram_bytes += bytes;
+                acct.dram_activations += records;
+                acct.interconnect_bytes += bytes;
+                acct.cache_accesses += bytes / self.cfg.cache.line_bytes;
+                res.complete
+                    .max(noc.complete)
+                    .max(ready + latency_bound)
+                    .max(ready + kernel_floor(*bytes))
+            }
+            (ComputeLevel::NearMemory, DataAccess::Stream { bytes }) => {
+                let res = self.nm_stream(acc.index, ready, *bytes, stage);
+                res.max(ready + kernel_floor(*bytes))
+            }
+            (ComputeLevel::NearMemory, DataAccess::Gather { bytes, granule }) => {
+                let end = self.nm_stream(acc.index, ready, *bytes, stage);
+                // Each record additionally pays a closed-row activate +
+                // precharge turnaround on the module's DIMM.
+                let records = bytes / (*granule).max(1);
+                let t = self.cfg.nm_dimm.timing;
+                let per_record = t.conflict_latency();
+                let overhead = per_record.scaled(records);
+                let acct = self.stages.entry(stage.to_string()).or_default();
+                acct.dram_activations += records;
+                end.max(ready + overhead)
+                    .max(ready + kernel_floor(*bytes))
+            }
+            (ComputeLevel::NearStorage, DataAccess::Stream { bytes }) => {
+                let slot = acc.index % self.ns_devices.len().max(1);
+                let dev = &mut self.ns_devices[slot];
+                let addr = self.ns_cursor % (dev.config().ssd.capacity / 2);
+                self.ns_cursor = self.ns_cursor.wrapping_add(*bytes);
+                let (res, _) = dev.device_read(ready, addr, *bytes);
+                let acct = self.stages.entry(stage.to_string()).or_default();
+                acct.ssd_bytes += bytes;
+                acct.ssd_busy += SimDuration::from_secs_f64(
+                    *bytes as f64 / dev.config().ssd.internal_bandwidth().as_bytes_per_sec() as f64,
+                );
+                res.complete.max(ready + kernel_floor(*bytes))
+            }
+            (ComputeLevel::NearStorage, DataAccess::Gather { bytes, granule }) => {
+                let slot = acc.index % self.ns_devices.len().max(1);
+                let dev = &mut self.ns_devices[slot];
+                let page = dev.config().ssd.page_bytes.max(*granule);
+                let pages = bytes.div_ceil(page);
+                // Queue-depth-limited random page reads.
+                const QUEUE_DEPTH: u64 = 32;
+                let latency_bound = dev
+                    .config()
+                    .ssd
+                    .read_latency
+                    .scaled(pages)
+                    .div_ceil(QUEUE_DEPTH);
+                let addr = self.ns_cursor % (dev.config().ssd.capacity / 2);
+                self.ns_cursor = self.ns_cursor.wrapping_add(*bytes);
+                let (res, _) = dev.device_read(ready, addr, *bytes);
+                let acct = self.stages.entry(stage.to_string()).or_default();
+                acct.ssd_bytes += bytes;
+                acct.ssd_busy += SimDuration::from_secs_f64(
+                    *bytes as f64 / dev.config().ssd.internal_bandwidth().as_bytes_per_sec() as f64,
+                );
+                res.complete
+                    .max(ready + latency_bound)
+                    .max(ready + kernel_floor(*bytes))
+            }
+        }
+    }
+
+    /// Streams from a near-memory module's own DIMM (acquiring ownership on
+    /// first use), billing DRAM usage.
+    /// If the GAM did *not* reorganize the near-memory channels to tile
+    /// interleaving, only `1/n` of the module's working set is local; the
+    /// remainder arrives from the other modules over the shared AIMbus —
+    /// the inter-DIMM path the AIM memory-access filter provides.
+    fn nm_stream(&mut self, index: usize, ready: SimTime, bytes: u64, stage: &str) -> SimTime {
+        let n = self.aim_modules.len().max(1);
+        let slot = index % n;
+        let (local_bytes, remote_bytes) = if self.cfg.nm_tile_interleave || n == 1 {
+            (bytes, 0)
+        } else {
+            (bytes / n as u64, bytes - bytes / n as u64)
+        };
+        let module = &mut self.aim_modules[slot];
+        let start = if module.owner() == reach_mem::DimmOwner::Host {
+            module.acquire(ready, &mut self.nm_mc)
+        } else {
+            ready
+        };
+        let cap = self.cfg.nm_dimm.capacity;
+        let mut end = start;
+        let mut remaining = local_bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(cap);
+            let res = module.stream_local(end, &mut self.nm_mc, 0, chunk, AccessKind::Read);
+            end = res.complete;
+            remaining -= chunk;
+        }
+        if remote_bytes > 0 {
+            // Remote lines are read on their home DIMMs (overlapped with
+            // the local stream) and forwarded over the shared AIMbus.
+            let bus = self.aimbus.transfer(start, remote_bytes);
+            end = end.max(bus.complete);
+        }
+        let acct = self.stages.entry(stage.to_string()).or_default();
+        acct.dram_bytes += bytes;
+        acct.dram_activations += bytes / self.cfg.nm_dimm.row_bytes;
+        acct.interconnect_bytes += remote_bytes;
+        end
+    }
+
+    // ----------------------------------------------------------------- //
+    // DMA pricing
+    // ----------------------------------------------------------------- //
+
+    fn start_dma(
+        &mut self,
+        id: DmaId,
+        bytes: u64,
+        from: ComputeLevel,
+        to: ComputeLevel,
+        dest: TaskId,
+    ) {
+        let now = self.queue.now();
+        // Attribute the transfer to the stage of the task that consumes it.
+        let stage = self
+            .tasks
+            .get(&dest)
+            .map(|m| m.stage.clone())
+            .unwrap_or_else(|| "transfer".to_string());
+        let done = self.price_dma(now, bytes, from, to, &stage);
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                name: format!("{stage} ({from}->{to}, {bytes} B)"),
+                kind: TraceKind::Dma,
+                track: "transfers".to_string(),
+                lane: 0,
+                start: now,
+                duration: done.since(now),
+            });
+        }
+        self.dmas.insert(id, DmaMeta { stage });
+        self.queue.push(done, Event::DmaDone { id });
+    }
+
+    fn price_dma(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        from: ComputeLevel,
+        to: ComputeLevel,
+        stage: &str,
+    ) -> SimTime {
+        use ComputeLevel::{NearMemory, NearStorage, OnChip};
+        #[allow(unused_assignments)]
+        let mut end = now;
+        let mut dram = 0u64;
+        let mut interconnect = 0u64;
+        let mut pcie = 0u64;
+        let mut ssd = 0u64;
+
+        match (from, to) {
+            (OnChip, OnChip) | (NearMemory, NearMemory) | (NearStorage, NearStorage) => {
+                // Same level: near-memory modules use the AIMbus; others are
+                // local copies at memory speed.
+                if from == NearMemory {
+                    let res = self.aimbus.transfer(now, bytes);
+                    interconnect += bytes;
+                    end = res.complete;
+                } else {
+                    end = now + SimDuration::from_secs_f64(bytes as f64 / 19.2e9);
+                    dram += bytes;
+                }
+            }
+            (OnChip, NearMemory) => {
+                // Forced cache write-back, read from host DRAM, write into
+                // the accelerator DIMMs over the memory network.
+                let rd = self.host_mc.stream(now, 0, bytes, AccessKind::Read);
+                let wr = self.nm_mc.stream(now, 0, bytes, AccessKind::Write);
+                dram += bytes * 2;
+                interconnect += bytes;
+                end = rd.complete.max(wr.complete);
+            }
+            (NearMemory, OnChip) => {
+                let rd = self.nm_mc.stream(now, 0, bytes, AccessKind::Read);
+                let wr = self.host_mc.stream(now, 0, bytes, AccessKind::Write);
+                dram += bytes * 2;
+                interconnect += bytes;
+                end = rd.complete.max(wr.complete);
+            }
+            (OnChip, NearStorage) | (NearMemory, NearStorage) => {
+                // Host memory -> PCIe switch -> device DRAM buffer.
+                let rd = if from == OnChip {
+                    self.host_mc.stream(now, 0, bytes, AccessKind::Read)
+                } else {
+                    self.nm_mc.stream(now, 0, bytes, AccessKind::Read)
+                };
+                let sw = self.host_switch.host_transfer(now, bytes);
+                dram += bytes;
+                interconnect += bytes;
+                pcie += bytes;
+                end = rd.complete.max(sw.complete);
+            }
+            (NearStorage, OnChip) | (NearStorage, NearMemory) => {
+                // SSD -> device link -> PCIe switch -> host/nm DRAM,
+                // pipelined: completion is the slowest leg.
+                let dev = &mut self.ns_devices[0];
+                let flash = dev.passthrough_read(now, 0, bytes.min(dev.config().ssd.capacity / 2));
+                let sw = self.host_switch.host_transfer(now, bytes);
+                let wr = if to == OnChip {
+                    self.host_mc.stream(now, 0, bytes, AccessKind::Write)
+                } else {
+                    self.nm_mc.stream(now, 0, bytes, AccessKind::Write)
+                };
+                ssd += bytes;
+                pcie += bytes;
+                dram += bytes;
+                interconnect += bytes;
+                end = flash.complete.max(sw.complete).max(wr.complete);
+            }
+        }
+
+        let acct = self.stages.entry(stage.to_string()).or_default();
+        acct.dram_bytes += dram;
+        acct.interconnect_bytes += interconnect;
+        acct.pcie_bytes += pcie;
+        acct.ssd_bytes += ssd;
+        if ssd > 0 {
+            acct.ssd_busy += SimDuration::from_secs_f64(ssd as f64 / 12.8e9);
+        }
+        acct.widen(now, end);
+        end
+    }
+
+    // ----------------------------------------------------------------- //
+    // Reporting
+    // ----------------------------------------------------------------- //
+
+    fn report(&self) -> RunReport {
+        let makespan = self.queue.now().since(SimTime::ZERO);
+        let mut ledger = EnergyLedger::new();
+        let p = &self.presets;
+
+        // Usage totals for static-energy attribution weights.
+        let total_ssd_bytes: u64 = self.stages.values().map(|a| a.ssd_bytes).sum();
+        let total_pcie_bytes: u64 = self.stages.values().map(|a| a.pcie_bytes).sum();
+        let total_dram_bytes: u64 = self.stages.values().map(|a| a.dram_bytes).sum();
+        let total_ic_bytes: u64 = self.stages.values().map(|a| a.interconnect_bytes).sum();
+        let total_cache: u64 = self.stages.values().map(|a| a.cache_accesses).sum();
+        let total_busy: SimDuration = self.stages.values().map(|a| a.acc_busy).sum();
+
+        // Two static-energy attribution rules (see EXPERIMENTS.md):
+        // storage-path components (SSD, PCIe) are billed to the stages that
+        // *use* them, weighted by bytes; always-on memory-side components
+        // (DRAM background, cache leakage, MC/NoC static) are billed by
+        // wall-clock stage extent.
+        let weight = |part: u64, whole: u64, acct: &StageAcct| -> f64 {
+            if whole > 0 {
+                part as f64 / whole as f64
+            } else if !total_busy.is_zero() {
+                acct.acc_busy.as_ps() as f64 / total_busy.as_ps() as f64
+            } else {
+                0.0
+            }
+        };
+        let total_span: f64 = self
+            .stages
+            .values()
+            .filter_map(|a| a.window.map(|(s, e)| e.since(s).as_ps() as f64))
+            .sum();
+        let weight_time = |acct: &StageAcct| -> f64 {
+            match acct.window {
+                Some((s, e)) if total_span > 0.0 => e.since(s).as_ps() as f64 / total_span,
+                _ => 0.0,
+            }
+        };
+
+        // Static energy pools.
+        let dimms = self.cfg.host_mc.channels * self.cfg.host_mc.dimms_per_channel
+            + self.cfg.near_memory_accelerators;
+        let dram_static = p.dram.energy_j(0, 0, dimms, makespan);
+        let cache_static = p.cache.energy_j(0, makespan);
+        let ssd_static = p.ssd.energy_j(SimDuration::ZERO, self.ns_devices.len(), makespan);
+        let ic_static = p.mc_interconnect.energy_j(0, makespan);
+        let pcie_static = p.pcie.energy_j(0, makespan);
+
+        // Accelerator idle pools per level (kernel idle power x idle time).
+        let mut acc_idle_j = 0.0;
+        for acc in self.accelerators.values() {
+            let busy = acc.busy_time().min(makespan);
+            let idle = makespan - busy;
+            acc_idle_j += acc.active_power_w() * p.accel_idle_fraction * idle.as_secs_f64();
+        }
+
+        let mut summaries = Vec::new();
+        for (name, acct) in &self.stages {
+            // Dynamic terms.
+            ledger.add(SystemComponent::Accelerator, name, acct.acc_active_j);
+            ledger.add(
+                SystemComponent::Cache,
+                name,
+                p.cache.pj_per_access * 1e-12 * acct.cache_accesses as f64,
+            );
+            ledger.add(
+                SystemComponent::Dram,
+                name,
+                p.dram.pj_per_activation * 1e-12 * acct.dram_activations as f64
+                    + p.dram.pj_per_byte * 1e-12 * acct.dram_bytes as f64,
+            );
+            let ssd_active =
+                (p.ssd.active_w - p.ssd.idle_w).max(0.0) * acct.ssd_busy.as_secs_f64();
+            ledger.add(SystemComponent::Ssd, name, ssd_active);
+            ledger.add(
+                SystemComponent::McInterconnect,
+                name,
+                p.mc_interconnect.pj_per_byte * 1e-12 * acct.interconnect_bytes as f64,
+            );
+            ledger.add(
+                SystemComponent::Pcie,
+                name,
+                p.pcie.pj_per_byte * 1e-12 * acct.pcie_bytes as f64,
+            );
+
+            // Static attributions: time-extent for memory-side components,
+            // usage for storage-path components.
+            let _ = (total_dram_bytes, total_ic_bytes, total_cache);
+            ledger.add(SystemComponent::Dram, name, dram_static * weight_time(acct));
+            ledger.add(SystemComponent::Cache, name, cache_static * weight_time(acct));
+            ledger.add(
+                SystemComponent::Ssd,
+                name,
+                ssd_static * weight(acct.ssd_bytes, total_ssd_bytes, acct),
+            );
+            ledger.add(
+                SystemComponent::McInterconnect,
+                name,
+                ic_static * weight_time(acct),
+            );
+            ledger.add(
+                SystemComponent::Pcie,
+                name,
+                pcie_static * weight(acct.pcie_bytes, total_pcie_bytes, acct),
+            );
+            if !total_busy.is_zero() {
+                ledger.add(
+                    SystemComponent::Accelerator,
+                    name,
+                    acc_idle_j * acct.acc_busy.as_ps() as f64 / total_busy.as_ps() as f64,
+                );
+            }
+
+            summaries.push(StageSummary {
+                name: name.clone(),
+                busy: acct.acc_busy,
+                window: acct.window.unwrap_or((SimTime::ZERO, SimTime::ZERO)),
+                tasks: acct.tasks,
+            });
+        }
+
+        let jobs = self.job_latency.len() as u64;
+        let mean = if jobs > 0 {
+            SimDuration::from_ps(
+                (self.job_latency.iter().map(|d| u128::from(d.as_ps())).sum::<u128>()
+                    / u128::from(jobs)) as u64,
+            )
+        } else {
+            SimDuration::ZERO
+        };
+        RunReport {
+            makespan,
+            jobs,
+            job_latency_mean: mean,
+            job_latency_last: self.job_latency.last().copied().unwrap_or(SimDuration::ZERO),
+            stages: summaries,
+            ledger,
+            gam: *self.gam.stats(),
+            completions: self.job_done.values().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_gam::JobBuilder;
+    use std::collections::HashMap;
+
+    fn machine() -> Machine {
+        Machine::new(SystemConfig::paper_table2())
+    }
+
+    fn compute_job(job_id: u64, macs: u64, level: ComputeLevel, template: &str) -> (Job, HashMap<TaskId, TaskWork>) {
+        let mut b = JobBuilder::new(job_id);
+        let t = b.task(
+            "w",
+            template,
+            level,
+            SimDuration::from_ms(1),
+            vec![],
+            vec![],
+            vec![],
+        );
+        (b.build(), HashMap::from([(t, TaskWork::compute(macs))]))
+    }
+
+    #[test]
+    fn submit_at_defers_work() {
+        let mut m = machine();
+        let (job, works) = compute_job(0, 1_000_000_000, ComputeLevel::OnChip, "VGG16-VU9P");
+        let start = SimTime::ZERO + SimDuration::from_ms(250);
+        m.submit_at(start, job, works);
+        let r = m.run();
+        // Nothing ran before the deferred submission instant.
+        assert!(r.makespan >= SimDuration::from_ms(250));
+        assert_eq!(r.jobs, 1);
+        assert_eq!(r.job_completions().len(), 1);
+        assert!(r.job_completions()[0] >= start);
+    }
+
+    #[test]
+    fn repeated_run_accumulates_jobs() {
+        let mut m = machine();
+        let (j0, w0) = compute_job(0, 1_000_000_000, ComputeLevel::OnChip, "VGG16-VU9P");
+        m.submit(j0, w0);
+        let r0 = m.run();
+        assert_eq!(r0.jobs, 1);
+        let (j1, w1) = compute_job(1, 1_000_000_000, ComputeLevel::OnChip, "VGG16-VU9P");
+        m.submit(j1, w1);
+        let r1 = m.run();
+        assert_eq!(r1.jobs, 2, "reports accumulate across run() calls");
+        assert!(r1.makespan > r0.makespan);
+    }
+
+    #[test]
+    fn dma_paths_bill_the_right_components() {
+        // NearStorage -> OnChip staging must touch SSD, PCIe and DRAM.
+        let mut m = machine();
+        let mut b = JobBuilder::new(0);
+        let buf = b.buffer("db", 64 << 20, Some(ComputeLevel::NearStorage));
+        let t = b.task(
+            "stage",
+            "KNN-VU9P",
+            ComputeLevel::OnChip,
+            SimDuration::from_ms(1),
+            vec![buf],
+            vec![],
+            vec![],
+        );
+        m.submit(
+            b.build(),
+            HashMap::from([(t, TaskWork::gather(1_000_000, 64 << 20, 4096))]),
+        );
+        let r = m.run();
+        for c in [
+            SystemComponent::Ssd,
+            SystemComponent::Pcie,
+            SystemComponent::Dram,
+        ] {
+            assert!(
+                r.ledger.component_total(c) > 0.0,
+                "{c} not billed on the staging path"
+            );
+        }
+    }
+
+    #[test]
+    fn onchip_to_nearmem_dma_skips_pcie() {
+        let mut m = machine();
+        let mut b = JobBuilder::new(0);
+        let buf = b.buffer("tiles", 32 << 20, Some(ComputeLevel::OnChip));
+        let t = b.task(
+            "nm",
+            "GEMM-ZCU9",
+            ComputeLevel::NearMemory,
+            SimDuration::from_ms(1),
+            vec![buf],
+            vec![],
+            vec![],
+        );
+        m.submit(
+            b.build(),
+            HashMap::from([(t, TaskWork::stream(1_000_000, 32 << 20))]),
+        );
+        let r = m.run();
+        // Dynamic PCIe energy only comes from bytes; none should have moved.
+        let pcie = r.ledger.component_total(SystemComponent::Pcie);
+        let static_only = reach_energy::EnergyPresets::paper_table4()
+            .pcie
+            .energy_j(0, r.makespan);
+        assert!(
+            (pcie - static_only).abs() < 1e-9,
+            "PCIe billed dynamic energy on a memory-network transfer"
+        );
+    }
+
+    #[test]
+    fn noc_carries_onchip_stream_traffic() {
+        let mut m = machine();
+        let (job, works) = {
+            let mut b = JobBuilder::new(0);
+            let t = b.task(
+                "s",
+                "GEMM-VU9P",
+                ComputeLevel::OnChip,
+                SimDuration::from_ms(1),
+                vec![],
+                vec![],
+                vec![],
+            );
+            (b.build(), HashMap::from([(t, TaskWork::stream(1, 16 << 20))]))
+        };
+        m.submit(job, works);
+        let _ = m.run();
+        assert_eq!(m.noc.stats().bytes, 16 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "no TaskWork")]
+    fn missing_work_descriptor_rejected() {
+        let mut m = machine();
+        let mut b = JobBuilder::new(0);
+        b.task(
+            "x",
+            "VGG16-VU9P",
+            ComputeLevel::OnChip,
+            SimDuration::from_ms(1),
+            vec![],
+            vec![],
+            vec![],
+        );
+        m.submit(b.build(), HashMap::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown template")]
+    fn unknown_template_rejected() {
+        let mut m = machine();
+        let mut b = JobBuilder::new(0);
+        let t = b.task(
+            "x",
+            "NOT-A-KERNEL",
+            ComputeLevel::OnChip,
+            SimDuration::from_ms(1),
+            vec![],
+            vec![],
+            vec![],
+        );
+        m.submit(b.build(), HashMap::from([(t, TaskWork::compute(1))]));
+    }
+}

@@ -1,0 +1,22 @@
+//! # reach-energy — energy models and accounting
+//!
+//! The paper estimates energy with a toolbox (Table IV): SDAccel post-route
+//! power reports and the XPE calculator for the FPGAs, CACTI 6.5 for the
+//! cache, the Micron DDR4 power calculator for DRAM, and NVMe / PCIe-switch
+//! datasheets for storage and interconnect. Each of those tools reduces, for
+//! a fixed configuration, to a handful of constants: active power, idle
+//! power, and energy per event (access / byte / activation). This crate
+//! holds those constants ([`presets`]), the per-component models
+//! ([`model`]), and the component-by-stage [`ledger`] that Figures 8, 12 and
+//! 13c are built from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod model;
+pub mod presets;
+
+pub use ledger::{EnergyLedger, SystemComponent};
+pub use model::{AccelEnergy, CacheEnergy, DramEnergy, LinkEnergy, SsdEnergy};
+pub use presets::EnergyPresets;

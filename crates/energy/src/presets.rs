@@ -1,0 +1,123 @@
+//! Calibrated energy constants — the paper's Table IV reduced to numbers.
+//!
+//! | Component | Paper's tool | Constant here |
+//! |---|---|---|
+//! | FPGA accelerators | SDAccel 2019.1 + XPE | Table III active power; idle = 10% of active |
+//! | Cache | CACTI 6.5 | 600 pJ / 64 B access, 1.5 W leakage (2 MiB, 22 nm-class) |
+//! | DRAM | Micron DDR4 power calculator | 15 nJ / activation, 60 pJ/B dynamic+I/O, 2.5 W/DIMM background |
+//! | Storage | Seagate Nytro-class NVMe datasheet | 12 W active, 5 W idle per drive |
+//! | PCIe | IDT 64-lane switch + PCIe PHY datasheets | 80 pJ/B, 8 W static (switch core + NVMe controller PHYs) |
+//! | MC + interconnect | DDR4 channel + NoC energy surveys | 30 pJ/B, 4 W static |
+//!
+//! The single calibration target is the paper's Figure 8 baseline: with these
+//! constants the fully-on-chip CBIR batch lands at ~78% data-movement energy
+//! (paper: 79%) with rerank the dominant stage. Every other experiment then
+//! reuses the same constants unchanged.
+
+use crate::model::{AccelEnergy, CacheEnergy, DramEnergy, LinkEnergy, SsdEnergy};
+
+/// The bundle of per-component energy models used by every experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyPresets {
+    /// Shared LLC.
+    pub cache: CacheEnergy,
+    /// Main-memory DIMMs.
+    pub dram: DramEnergy,
+    /// NVMe drives.
+    pub ssd: SsdEnergy,
+    /// Memory channels + NoC + AIMbus.
+    pub mc_interconnect: LinkEnergy,
+    /// PCIe links + host IO switch.
+    pub pcie: LinkEnergy,
+    /// Fraction of a kernel's active power drawn while configured but idle.
+    pub accel_idle_fraction: f64,
+}
+
+impl EnergyPresets {
+    /// The calibrated defaults described in the module docs.
+    #[must_use]
+    pub fn paper_table4() -> Self {
+        EnergyPresets {
+            cache: CacheEnergy {
+                pj_per_access: 600.0,
+                leakage_w: 1.5,
+            },
+            dram: DramEnergy {
+                pj_per_activation: 15_000.0,
+                pj_per_byte: 60.0,
+                background_w_per_dimm: 2.5,
+            },
+            ssd: SsdEnergy {
+                active_w: 12.0,
+                idle_w: 5.0,
+            },
+            mc_interconnect: LinkEnergy {
+                pj_per_byte: 30.0,
+                static_w: 4.0,
+            },
+            pcie: LinkEnergy {
+                pj_per_byte: 80.0,
+                static_w: 8.0,
+            },
+            accel_idle_fraction: 0.10,
+        }
+    }
+
+    /// An accelerator energy model for a kernel drawing `active_w` when busy.
+    #[must_use]
+    pub fn accel(&self, active_w: f64) -> AccelEnergy {
+        AccelEnergy {
+            active_w,
+            idle_w: active_w * self.accel_idle_fraction,
+        }
+    }
+}
+
+impl Default for EnergyPresets {
+    fn default() -> Self {
+        Self::paper_table4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::SimDuration;
+
+    #[test]
+    fn presets_are_physically_sane() {
+        let p = EnergyPresets::paper_table4();
+        // DRAM dynamic energy per byte should exceed interconnect per byte.
+        assert!(p.dram.pj_per_byte > p.mc_interconnect.pj_per_byte);
+        // An SSD draws more when active than idle.
+        assert!(p.ssd.active_w > p.ssd.idle_w);
+        // Idle accelerators still leak some power.
+        assert!(p.accel_idle_fraction > 0.0 && p.accel_idle_fraction < 1.0);
+    }
+
+    #[test]
+    fn accel_helper_derives_idle_power() {
+        let p = EnergyPresets::paper_table4();
+        let m = p.accel(25.0);
+        assert!((m.idle_w - 2.5).abs() < 1e-12);
+        // Busy the whole window: pure active power.
+        let e = m.energy_j(SimDuration::from_ms(100), SimDuration::from_ms(100));
+        assert!((e - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_background_dominates_light_traffic() {
+        // For a mostly-idle 450 ms batch the background term should dominate
+        // — the effect the paper attributes ReACH's energy win to (shorter
+        // makespan = less background energy).
+        let p = EnergyPresets::paper_table4();
+        let e_total = p.dram.energy_j(1_000, 1 << 20, 8, SimDuration::from_ms(450));
+        let e_background = p.dram.energy_j(0, 0, 8, SimDuration::from_ms(450));
+        assert!(e_background / e_total > 0.9);
+    }
+
+    #[test]
+    fn default_is_paper_preset() {
+        assert_eq!(EnergyPresets::default(), EnergyPresets::paper_table4());
+    }
+}

@@ -1,0 +1,303 @@
+//! Jobs, tasks and buffers — the units the GAM schedules.
+
+use reach_accel::ComputeLevel;
+use reach_sim::SimDuration;
+use std::fmt;
+
+/// Identifies a job (one host-side `execute` group).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Identifies a task within the GAM (globally unique, not per-job).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Identifies a buffer in the GAM buffer table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// A buffer-table entry: where a region of data currently lives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferDesc {
+    /// Identifier.
+    pub id: BufferId,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Which level's memory currently holds the valid copy (`None` while the
+    /// producing task has not finished).
+    pub resident: Option<ComputeLevel>,
+}
+
+/// Life-cycle of a task inside the GAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskState {
+    /// Waiting on dependencies or input transfers.
+    Blocked,
+    /// All inputs ready; sitting in its level's dispatch queue.
+    Ready,
+    /// Running on an accelerator.
+    Running,
+    /// Finished; outputs valid.
+    Done,
+}
+
+/// One schedulable unit of work.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Identifier (assigned by [`JobBuilder`]).
+    pub id: TaskId,
+    /// The job this task belongs to (its *task group* in paper terms).
+    pub job: JobId,
+    /// Stage label for reports (e.g. `"short-list"`).
+    pub stage: String,
+    /// Accelerator template this task needs, e.g. `"GEMM-ZCU9"`.
+    pub template: String,
+    /// Level the task is mapped to.
+    pub level: ComputeLevel,
+    /// Estimated execution time, from the kernel synthesis report — what
+    /// the progress table uses to time status polls.
+    pub est_duration: SimDuration,
+    /// Input buffers that must be resident at `level` before dispatch.
+    pub inputs: Vec<BufferId>,
+    /// Buffers this task produces.
+    pub outputs: Vec<BufferId>,
+    /// Tasks (possibly in earlier jobs) that must finish first.
+    pub deps: Vec<TaskId>,
+}
+
+/// A job: a group of tasks submitted together.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// Tasks, in submission order.
+    pub tasks: Vec<Task>,
+    /// Buffers referenced by the tasks (new entries for the buffer table).
+    pub buffers: Vec<BufferDesc>,
+}
+
+/// Builds a [`Job`] with correctly threaded identifiers.
+///
+/// # Example
+///
+/// ```
+/// use reach_gam::JobBuilder;
+/// use reach_accel::ComputeLevel;
+/// use reach_sim::SimDuration;
+///
+/// let mut b = JobBuilder::new(0);
+/// let feats = b.buffer("features", 6144, None);
+/// let cnn = b.task("feature-extraction", "VGG16-VU9P", ComputeLevel::OnChip,
+///                  SimDuration::from_ms(100), vec![], vec![feats], vec![]);
+/// let _knn = b.task("rerank", "KNN-ZCU9", ComputeLevel::NearStorage,
+///                   SimDuration::from_ms(80), vec![feats], vec![], vec![cnn]);
+/// let job = b.build();
+/// assert_eq!(job.tasks.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct JobBuilder {
+    job: JobId,
+    tasks: Vec<Task>,
+    buffers: Vec<BufferDesc>,
+    next_task: u64,
+    next_buffer: u64,
+}
+
+impl JobBuilder {
+    /// Starts a job with the given id; task and buffer ids are namespaced
+    /// under it so ids from different jobs never collide.
+    #[must_use]
+    pub fn new(job: u64) -> Self {
+        JobBuilder {
+            job: JobId(job),
+            tasks: Vec::new(),
+            buffers: Vec::new(),
+            next_task: job << 20,
+            next_buffer: job << 20,
+        }
+    }
+
+    /// Declares a buffer. `resident` says which level already holds valid
+    /// data (`None` for outputs yet to be produced).
+    pub fn buffer(&mut self, name: &str, bytes: u64, resident: Option<ComputeLevel>) -> BufferId {
+        let id = BufferId(self.next_buffer);
+        self.next_buffer += 1;
+        self.buffers.push(BufferDesc {
+            id,
+            name: name.to_string(),
+            bytes,
+            resident,
+        });
+        id
+    }
+
+    /// Declares a task and returns its id for dependency wiring.
+    #[allow(clippy::too_many_arguments)]
+    pub fn task(
+        &mut self,
+        stage: &str,
+        template: &str,
+        level: ComputeLevel,
+        est_duration: SimDuration,
+        inputs: Vec<BufferId>,
+        outputs: Vec<BufferId>,
+        deps: Vec<TaskId>,
+    ) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.push(Task {
+            id,
+            job: self.job,
+            stage: stage.to_string(),
+            template: template.to_string(),
+            level,
+            est_duration,
+            inputs,
+            outputs,
+            deps,
+        });
+        id
+    }
+
+    /// Finalizes the job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task references an undeclared buffer or dependency, or if
+    /// the dependency graph has a forward reference to a later task in the
+    /// same job that would deadlock dispatch (self-cycles).
+    #[must_use]
+    pub fn build(self) -> Job {
+        for t in &self.tasks {
+            for b in t.inputs.iter().chain(&t.outputs) {
+                assert!(
+                    self.buffers.iter().any(|d| d.id == *b),
+                    "JobBuilder: {} references undeclared {b}",
+                    t.id
+                );
+            }
+            for d in &t.deps {
+                assert!(
+                    self.tasks.iter().any(|o| o.id == *d),
+                    "JobBuilder: {} depends on undeclared {d} (cross-job deps are wired at submit time)",
+                    t.id
+                );
+                assert!(*d != t.id, "JobBuilder: {} depends on itself", t.id);
+            }
+        }
+        Job {
+            id: self.job,
+            tasks: self.tasks,
+            buffers: self.buffers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_threads_ids() {
+        let mut b = JobBuilder::new(3);
+        let buf = b.buffer("x", 64, Some(ComputeLevel::OnChip));
+        let t = b.task(
+            "s",
+            "K",
+            ComputeLevel::OnChip,
+            SimDuration::from_ms(1),
+            vec![buf],
+            vec![],
+            vec![],
+        );
+        let job = b.build();
+        assert_eq!(job.id, JobId(3));
+        assert_eq!(job.tasks[0].id, t);
+        assert_eq!(job.buffers[0].id, buf);
+        // Namespaced under the job id.
+        assert_eq!(t.0 >> 20, 3);
+    }
+
+    #[test]
+    fn different_jobs_never_collide() {
+        let mut a = JobBuilder::new(1);
+        let mut b = JobBuilder::new(2);
+        let ta = a.task(
+            "s",
+            "K",
+            ComputeLevel::OnChip,
+            SimDuration::ZERO,
+            vec![],
+            vec![],
+            vec![],
+        );
+        let tb = b.task(
+            "s",
+            "K",
+            ComputeLevel::OnChip,
+            SimDuration::ZERO,
+            vec![],
+            vec![],
+            vec![],
+        );
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared")]
+    fn undeclared_buffer_rejected() {
+        let mut b = JobBuilder::new(0);
+        b.task(
+            "s",
+            "K",
+            ComputeLevel::OnChip,
+            SimDuration::ZERO,
+            vec![BufferId(999)],
+            vec![],
+            vec![],
+        );
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on itself")]
+    fn self_dependency_rejected() {
+        let mut b = JobBuilder::new(0);
+        // The first task id under job 0 is 0 << 20 = 0.
+        b.task(
+            "s",
+            "K",
+            ComputeLevel::OnChip,
+            SimDuration::ZERO,
+            vec![],
+            vec![],
+            vec![TaskId(0)],
+        );
+        let _ = b.build();
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(JobId(5).to_string(), "job5");
+        assert_eq!(TaskId(7).to_string(), "task7");
+        assert_eq!(BufferId(2).to_string(), "buf2");
+    }
+}

@@ -1,0 +1,154 @@
+//! GAM liveness and safety under randomized job graphs, driven by a
+//! minimal synchronous executor (no machine, no timing): every action is
+//! resolved immediately, so these properties hold independent of any
+//! substrate behaviour.
+
+use proptest::prelude::*;
+use reach_accel::{AcceleratorId, ComputeLevel};
+use reach_gam::manager::{Gam, GamAction, GamConfig};
+use reach_gam::{Job, JobBuilder, TaskId};
+use reach_sim::{SimDuration, SimTime};
+use std::collections::{BTreeSet, VecDeque};
+
+fn gam_all_levels(per_level: usize) -> Gam {
+    let mut g = Gam::new(GamConfig::default());
+    for level in ComputeLevel::ALL {
+        for index in 0..per_level {
+            g.register_instance(AcceleratorId { level, index });
+        }
+    }
+    g
+}
+
+/// Builds a random DAG job: each task may depend on a subset of earlier
+/// tasks and may consume buffers produced by them.
+fn random_job(spec: &[(u8, Vec<usize>)]) -> (Job, Vec<TaskId>) {
+    let mut b = JobBuilder::new(0);
+    let mut ids: Vec<TaskId> = Vec::new();
+    let mut bufs = Vec::new();
+    for (i, (level_pick, dep_picks)) in spec.iter().enumerate() {
+        let level = match level_pick % 3 {
+            0 => ComputeLevel::OnChip,
+            1 => ComputeLevel::NearMemory,
+            _ => ComputeLevel::NearStorage,
+        };
+        let out = b.buffer(&format!("buf{i}"), 4096, None);
+        let deps: Vec<TaskId> = dep_picks
+            .iter()
+            .filter(|&&d| d < i)
+            .map(|&d| ids[d])
+            .collect();
+        let inputs: Vec<_> = dep_picks
+            .iter()
+            .filter(|&&d| d < i)
+            .map(|&d| bufs[d])
+            .collect();
+        let t = b.task(
+            &format!("t{i}"),
+            "K",
+            level,
+            SimDuration::from_us(10),
+            inputs,
+            vec![out],
+            deps,
+        );
+        ids.push(t);
+        bufs.push(out);
+    }
+    (b.build(), ids)
+}
+
+/// Synchronous executor: dispatches complete instantly, DMAs finish
+/// instantly, polls are acknowledged as completions. Returns the dispatch
+/// order.
+fn drive(gam: &mut Gam, initial: Vec<GamAction>) -> Vec<TaskId> {
+    let mut queue: VecDeque<GamAction> = initial.into();
+    let mut order = Vec::new();
+    let mut interrupts = 0;
+    let mut steps = 0;
+    while let Some(action) = queue.pop_front() {
+        steps += 1;
+        assert!(steps < 100_000, "executor runaway — GAM livelock?");
+        match action {
+            GamAction::Dispatch { task, .. } => {
+                order.push(task);
+                // Started (may emit a poll we ignore by completing directly).
+                let _ = gam.task_started(task, SimTime::ZERO);
+                queue.extend(gam.complete(task));
+            }
+            GamAction::Dma { id, .. } => queue.extend(gam.dma_finished(id)),
+            GamAction::Poll { .. } => { /* completion already delivered */ }
+            GamAction::HostInterrupt { .. } => interrupts += 1,
+        }
+    }
+    assert_eq!(interrupts, 1, "exactly one interrupt per job");
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every random DAG completes, every task dispatches exactly once, and
+    /// no task starts before all of its dependencies completed.
+    #[test]
+    fn random_dags_complete_in_dependency_order(
+        spec in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(0usize..12, 0..3)),
+            1..12
+        ),
+        per_level in 1usize..4,
+    ) {
+        let (job, ids) = random_job(&spec);
+        let deps: Vec<BTreeSet<TaskId>> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (_, dp))| {
+                dp.iter().filter(|&&d| d < i).map(|&d| ids[d]).collect()
+            })
+            .collect();
+
+        let mut gam = gam_all_levels(per_level);
+        let initial = gam.submit_job(job);
+        let order = drive(&mut gam, initial);
+
+        // Exactly once each.
+        let unique: BTreeSet<_> = order.iter().collect();
+        prop_assert_eq!(unique.len(), ids.len(), "duplicate or missing dispatch");
+        prop_assert_eq!(order.len(), ids.len());
+        prop_assert!(gam.idle());
+
+        // Dependency order respected.
+        for (i, id) in ids.iter().enumerate() {
+            let my_pos = order.iter().position(|t| t == id).expect("dispatched");
+            for d in &deps[i] {
+                let dep_pos = order.iter().position(|t| t == d).expect("dep dispatched");
+                prop_assert!(dep_pos < my_pos, "task {i} ran before its dependency");
+            }
+        }
+        prop_assert_eq!(gam.stats().dispatches, ids.len() as u64);
+        prop_assert_eq!(gam.stats().jobs_completed, 1);
+    }
+
+    /// DMA accounting: every transferred buffer is counted once per
+    /// (buffer, destination level), never more.
+    #[test]
+    fn dma_count_is_bounded_by_cross_level_edges(
+        spec in proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(0usize..12, 0..3)),
+            1..12
+        ),
+    ) {
+        let (job, ids) = random_job(&spec);
+        // Upper bound: each task contributes at most |inputs| transfers.
+        let max_dmas: usize = spec
+            .iter()
+            .enumerate()
+            .map(|(i, (_, dp))| dp.iter().filter(|&&d| d < i).count())
+            .sum();
+        let _ = ids;
+        let mut gam = gam_all_levels(2);
+        let initial = gam.submit_job(job);
+        drive(&mut gam, initial);
+        prop_assert!(gam.stats().dmas as usize <= max_dmas);
+    }
+}

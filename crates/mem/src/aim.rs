@@ -1,0 +1,319 @@
+//! Accelerator-interposed memory (AIM) modules and the AIMbus.
+//!
+//! An AIM module sits between a DIMM and the memory network (Cong et al.,
+//! MEMSYS'17 — the design the paper's near-memory level is based on). It
+//! contains an embedded FPGA, a *configuration filter* that picks accelerator
+//! commands out of the memory channel, and a *memory access filter* that
+//! routes DRAM responses to the local accelerator, a remote accelerator over
+//! the AIMbus, or back to the host.
+//!
+//! The protocol modeled here follows Section II-B of the paper:
+//!
+//! 1. the host launches a kernel on the module; the host memory controller
+//!    *hands over* the DIMM (all banks drain and precharge),
+//! 2. while owned, the module accesses its DIMM locally with a forced
+//!    **closed-row policy**, so that when ownership returns the host can
+//!    assume every bank is precharged,
+//! 3. inter-DIMM traffic rides the AIMbus instead of the host channels.
+
+use crate::controller::MemoryController;
+use crate::ddr::{AccessKind, RowPolicy};
+use reach_sim::{Bandwidth, BandwidthResource, Reservation, SimDuration, SimTime};
+
+/// Who currently owns a DIMM's timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DimmOwner {
+    /// The host memory controller (normal operation).
+    #[default]
+    Host,
+    /// The AIM module's embedded accelerator.
+    Accelerator,
+}
+
+/// The shared inter-DIMM bus connecting all AIM modules.
+///
+/// # Example
+///
+/// ```
+/// use reach_mem::AimBus;
+/// use reach_sim::SimTime;
+///
+/// let mut bus = AimBus::paper_default();
+/// let r = bus.transfer(SimTime::ZERO, 4096);
+/// assert!(r.complete > SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct AimBus {
+    link: BandwidthResource,
+}
+
+impl AimBus {
+    /// Creates an AIMbus with the given rate and hop latency.
+    #[must_use]
+    pub fn new(bandwidth: Bandwidth, latency: SimDuration) -> Self {
+        AimBus {
+            link: BandwidthResource::new(bandwidth, latency),
+        }
+    }
+
+    /// The configuration used in the experiments: a 12.8 GB/s shared bus
+    /// with 40 ns hop latency — comparable to one DDR4 channel, as the AIM
+    /// paper's point-to-point ring provides.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(Bandwidth::from_mbps(12_800), SimDuration::from_ns(40))
+    }
+
+    /// Moves `bytes` between two AIM modules.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Reservation {
+        self.link.transfer(now, bytes)
+    }
+
+    /// Total bytes carried (for interconnect energy).
+    #[must_use]
+    pub fn bytes_transferred(&self) -> u64 {
+        self.link.bytes_transferred()
+    }
+
+    /// Total time the bus was occupied.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.link.busy_time()
+    }
+}
+
+/// Statistics an AIM module accumulates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AimStats {
+    /// Bytes the local accelerator moved to/from its DIMM.
+    pub local_bytes: u64,
+    /// Kernel launches observed by the configuration filter.
+    pub launches: u64,
+    /// Ownership hand-overs (host -> accelerator).
+    pub acquisitions: u64,
+}
+
+/// One accelerator-interposed-memory module attached to a specific DIMM.
+#[derive(Clone, Debug)]
+pub struct AimModule {
+    channel: usize,
+    slot: usize,
+    owner: DimmOwner,
+    stats: AimStats,
+}
+
+impl AimModule {
+    /// Creates a module interposed in front of DIMM (`channel`, `slot`).
+    #[must_use]
+    pub fn new(channel: usize, slot: usize) -> Self {
+        AimModule {
+            channel,
+            slot,
+            owner: DimmOwner::Host,
+            stats: AimStats::default(),
+        }
+    }
+
+    /// Which DIMM this module fronts.
+    #[must_use]
+    pub fn position(&self) -> (usize, usize) {
+        (self.channel, self.slot)
+    }
+
+    /// The current DIMM owner.
+    #[must_use]
+    pub fn owner(&self) -> DimmOwner {
+        self.owner
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &AimStats {
+        &self.stats
+    }
+
+    /// The host launches a kernel: the configuration filter accepts the
+    /// command and the memory controller hands the DIMM over. Returns the
+    /// instant the accelerator may start issuing local accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module already owns the DIMM — the paper's protocol
+    /// launches one kernel at a time per module.
+    pub fn acquire(&mut self, now: SimTime, mc: &mut MemoryController) -> SimTime {
+        assert_eq!(
+            self.owner,
+            DimmOwner::Host,
+            "AimModule::acquire: DIMM already owned by the accelerator"
+        );
+        let ready = mc.dimm_mut(self.channel, self.slot).hand_over(now);
+        self.owner = DimmOwner::Accelerator;
+        self.stats.acquisitions += 1;
+        self.stats.launches += 1;
+        ready
+    }
+
+    /// Returns the DIMM to the host. Because every owned access used the
+    /// closed-row policy, all banks are already precharged; the hand-back
+    /// costs only the drain of in-flight work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not own the DIMM.
+    pub fn release(&mut self, now: SimTime, mc: &mut MemoryController) -> SimTime {
+        assert_eq!(
+            self.owner,
+            DimmOwner::Accelerator,
+            "AimModule::release: DIMM not owned"
+        );
+        let ready = mc.dimm_mut(self.channel, self.slot).hand_over(now);
+        self.owner = DimmOwner::Host;
+        ready
+    }
+
+    /// Streams `bytes` from the module's own DIMM, bypassing the host
+    /// channel, with the forced closed-row policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not own the DIMM: the memory access filter
+    /// only routes responses to the local accelerator while a kernel runs.
+    pub fn stream_local(
+        &mut self,
+        now: SimTime,
+        mc: &mut MemoryController,
+        local_addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+    ) -> Reservation {
+        assert_eq!(
+            self.owner,
+            DimmOwner::Accelerator,
+            "AimModule::stream_local: kernel not launched (DIMM owned by host)"
+        );
+        self.stats.local_bytes += bytes;
+        mc.dimm_mut(self.channel, self.slot)
+            .stream(now, local_addr, bytes, kind, RowPolicy::ClosedRow)
+    }
+
+    /// A single line access on the owned DIMM (closed-row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not own the DIMM.
+    pub fn access_local(
+        &mut self,
+        now: SimTime,
+        mc: &mut MemoryController,
+        local_addr: u64,
+        kind: AccessKind,
+    ) -> Reservation {
+        assert_eq!(
+            self.owner,
+            DimmOwner::Accelerator,
+            "AimModule::access_local: kernel not launched"
+        );
+        self.stats.local_bytes += mc.config().dimm.line_bytes;
+        mc.dimm_mut(self.channel, self.slot)
+            .access(now, local_addr, kind, RowPolicy::ClosedRow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::MemoryControllerConfig;
+
+    fn setup() -> (MemoryController, AimModule) {
+        (
+            MemoryController::new(MemoryControllerConfig::paper_mc()),
+            AimModule::new(0, 0),
+        )
+    }
+
+    #[test]
+    fn acquire_use_release_roundtrip() {
+        let (mut mc, mut aim) = setup();
+        assert_eq!(aim.owner(), DimmOwner::Host);
+        let t0 = aim.acquire(SimTime::ZERO, &mut mc);
+        assert_eq!(aim.owner(), DimmOwner::Accelerator);
+        let r = aim.stream_local(t0, &mut mc, 0, 1 << 20, AccessKind::Read);
+        let t1 = aim.release(r.complete, &mut mc);
+        assert_eq!(aim.owner(), DimmOwner::Host);
+        assert!(t1 >= r.complete);
+        assert_eq!(aim.stats().local_bytes, 1 << 20);
+        assert_eq!(aim.stats().acquisitions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel not launched")]
+    fn local_access_requires_ownership() {
+        let (mut mc, mut aim) = setup();
+        aim.stream_local(SimTime::ZERO, &mut mc, 0, 64, AccessKind::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_acquire_rejected() {
+        let (mut mc, mut aim) = setup();
+        aim.acquire(SimTime::ZERO, &mut mc);
+        aim.acquire(SimTime::ZERO, &mut mc);
+    }
+
+    #[test]
+    fn owned_accesses_use_closed_row() {
+        let (mut mc, mut aim) = setup();
+        let t0 = aim.acquire(SimTime::ZERO, &mut mc);
+        let a = aim.access_local(t0, &mut mc, 0, AccessKind::Read);
+        let _b = aim.access_local(a.ready, &mut mc, 64, AccessKind::Read);
+        // Closed-row: the second same-row access is NOT a row hit.
+        assert_eq!(mc.dimm(0, 0).stats().row_hits, 0);
+        assert_eq!(mc.dimm(0, 0).stats().activations, 2);
+    }
+
+    #[test]
+    fn local_stream_does_not_touch_host_channel() {
+        let (mut mc, mut aim) = setup();
+        let t0 = aim.acquire(SimTime::ZERO, &mut mc);
+        aim.stream_local(t0, &mut mc, 0, 1 << 20, AccessKind::Read);
+        assert_eq!(mc.total_channel_bytes(), 0);
+    }
+
+    #[test]
+    fn parallel_modules_scale_bandwidth() {
+        let mut mc = MemoryController::new(MemoryControllerConfig::paper_mc());
+        let mut a = AimModule::new(0, 0);
+        let mut b = AimModule::new(1, 0);
+        let bytes: u64 = 64 << 20;
+        let ta = a.acquire(SimTime::ZERO, &mut mc);
+        let tb = b.acquire(SimTime::ZERO, &mut mc);
+        let ra = a.stream_local(ta, &mut mc, 0, bytes, AccessKind::Read);
+        let rb = b.stream_local(tb, &mut mc, 0, bytes, AccessKind::Read);
+        // Two modules on distinct DIMMs finish in about the same time as one.
+        let skew = ra.complete.as_ps().abs_diff(rb.complete.as_ps()) as f64
+            / ra.complete.as_ps() as f64;
+        assert!(skew < 0.05, "independent DIMMs should not contend: skew {skew}");
+    }
+
+    #[test]
+    fn aimbus_serializes_transfers() {
+        let mut bus = AimBus::paper_default();
+        let a = bus.transfer(SimTime::ZERO, 1 << 20);
+        let b = bus.transfer(SimTime::ZERO, 1 << 20);
+        assert_eq!(b.start, a.ready);
+        assert_eq!(bus.bytes_transferred(), 2 << 20);
+    }
+
+    #[test]
+    fn handback_leaves_banks_precharged_for_host() {
+        let (mut mc, mut aim) = setup();
+        let t0 = aim.acquire(SimTime::ZERO, &mut mc);
+        let r = aim.stream_local(t0, &mut mc, 0, 8 << 10, AccessKind::Read);
+        let t1 = aim.release(r.complete, &mut mc);
+        // Host access after hand-back pays activation (no stale open row),
+        // i.e. the closed-row contract held.
+        let hits_before = mc.dimm(0, 0).stats().row_hits;
+        mc.dimm_mut(0, 0).access(t1, 0, AccessKind::Read, RowPolicy::OpenPage);
+        assert_eq!(mc.dimm(0, 0).stats().row_hits, hits_before);
+    }
+}

@@ -1,0 +1,212 @@
+//! The deterministic event queue driving every simulation in the workspace.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: the timestamp, a tie-breaking sequence number and the
+/// payload. Stored inverted so `BinaryHeap` (a max-heap) pops the earliest
+/// event first.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (time, seq) sorts greater, so the heap pops it.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic FIFO ordering
+/// among events scheduled for the same instant.
+///
+/// Determinism matters here: the experiment harness asserts byte-identical
+/// reports across runs, and several GAM scheduling decisions are sensitive to
+/// the order in which same-cycle completions are observed.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ps(10), "b");
+/// q.push(SimTime::from_ps(10), "c");
+/// q.push(SimTime::from_ps(5), "a");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation's
+    /// current time).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current simulation time: scheduling into
+    /// the past is always a model bug and silently reordering it would
+    /// corrupt causality.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "EventQueue::push: scheduling into the past ({at:?} < now {:?})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the current time to
+    /// its timestamp. Returns `None` when the queue is drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(30), 3);
+        q.push(SimTime::from_ps(10), 1);
+        q.push(SimTime::from_ps(20), 2);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ps(7), i);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let want: Vec<_> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_ps(42), ());
+        let (t, ()) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(42));
+        assert_eq!(q.now(), SimTime::from_ps(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), ());
+        q.pop();
+        q.push(SimTime::from_ps(5), ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), "first");
+        q.pop();
+        q.push(SimTime::from_ps(10), "again");
+        assert_eq!(q.pop().unwrap().1, "again");
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ps(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_deterministic() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), "a");
+        q.push(SimTime::from_ps(20), "c");
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, "a");
+        q.push(SimTime::from_ps(20), "d");
+        q.push(SimTime::from_ps(15), "b");
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, ["b", "c", "d"]);
+    }
+}

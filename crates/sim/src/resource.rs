@@ -1,0 +1,401 @@
+//! Resource calendars: the contention model underneath every shared
+//! component in the hierarchy.
+//!
+//! A *calendar* tracks when a physical resource (a DRAM bank, a memory
+//! channel, a PCIe link, an SSD flash channel, an accelerator) is next free.
+//! Requests reserve service windows of `[max(now, free_at), +service)`.
+//! Queueing delay, saturation and crossover points in the experiments emerge
+//! from these reservations rather than from hand-tuned curves: e.g. the
+//! near-memory rerank plateau in Figure 11 appears because eight accelerators
+//! reserving windows on one host PCIe calendar push each other's start times
+//! out.
+
+use crate::rate::Bandwidth;
+use crate::time::{SimDuration, SimTime};
+
+/// The window granted by a reservation: the request occupies the resource
+/// during `[start, ready)` and its result is visible at `complete`
+/// (`ready` plus any non-occupying latency such as flight time on a link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reservation {
+    /// When the resource actually started serving the request.
+    pub start: SimTime,
+    /// When the resource becomes free for the next request.
+    pub ready: SimTime,
+    /// When the requester observes completion (>= `ready`).
+    pub complete: SimTime,
+}
+
+impl Reservation {
+    /// Queueing delay experienced before service began.
+    #[must_use]
+    pub fn queueing(&self, issued: SimTime) -> SimDuration {
+        self.start.since(issued)
+    }
+
+    /// Total latency from issue to observed completion.
+    #[must_use]
+    pub fn latency(&self, issued: SimTime) -> SimDuration {
+        self.complete.since(issued)
+    }
+}
+
+/// A single serially-shared server.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{SerialResource, SimTime, SimDuration};
+///
+/// let mut bus = SerialResource::new();
+/// let a = bus.reserve(SimTime::ZERO, SimDuration::from_ns(10));
+/// let b = bus.reserve(SimTime::ZERO, SimDuration::from_ns(10));
+/// assert_eq!(a.ready, b.start); // second request queues behind the first
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SerialResource {
+    free_at: SimTime,
+    busy: SimDuration,
+    served: u64,
+}
+
+impl SerialResource {
+    /// Creates an idle resource.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `service` time starting no earlier than `now`.
+    pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> Reservation {
+        let start = now.max(self.free_at);
+        let ready = start + service;
+        self.free_at = ready;
+        self.busy += service;
+        self.served += 1;
+        Reservation {
+            start,
+            ready,
+            complete: ready,
+        }
+    }
+
+    /// The instant the resource next becomes free.
+    #[must_use]
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// `true` if the resource is idle at `now`.
+    #[must_use]
+    pub fn is_free(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Total time spent serving requests (for utilization and busy-power
+    /// energy accounting).
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of requests served.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Pushes the free instant forward to at least `until` without counting
+    /// the gap as busy time (used for e.g. refresh blackouts or ownership
+    /// hand-over windows).
+    pub fn block_until(&mut self, until: SimTime) {
+        self.free_at = self.free_at.max(until);
+    }
+}
+
+/// `k` identical servers fed from one queue (e.g. the flash channels of an
+/// SSD, or a bank group). A request is placed on the earliest-free server;
+/// ties resolve to the lowest index, keeping simulations deterministic.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{MultiResource, SimTime, SimDuration};
+///
+/// let mut chans = MultiResource::new(2);
+/// let d = SimDuration::from_ns(8);
+/// let a = chans.reserve(SimTime::ZERO, d);
+/// let b = chans.reserve(SimTime::ZERO, d);
+/// let c = chans.reserve(SimTime::ZERO, d);
+/// assert_eq!(a.start, b.start);      // two servers run in parallel
+/// assert_eq!(c.start, a.ready);      // third request queues
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiResource {
+    servers: Vec<SerialResource>,
+}
+
+impl MultiResource {
+    /// Creates `k` idle servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MultiResource requires at least one server");
+        MultiResource {
+            servers: vec![SerialResource::new(); k],
+        }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Reserves `service` time on the earliest-available server.
+    pub fn reserve(&mut self, now: SimTime, service: SimDuration) -> Reservation {
+        let idx = self.earliest_free();
+        self.servers[idx].reserve(now, service)
+    }
+
+    /// Reserves on a *specific* server (e.g. a request pinned to the flash
+    /// channel holding its data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn reserve_on(&mut self, idx: usize, now: SimTime, service: SimDuration) -> Reservation {
+        self.servers[idx].reserve(now, service)
+    }
+
+    /// Index of the server that frees up first (lowest index wins ties).
+    #[must_use]
+    pub fn earliest_free(&self) -> usize {
+        let mut best = 0;
+        for (i, s) in self.servers.iter().enumerate().skip(1) {
+            if s.free_at() < self.servers[best].free_at() {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Sum of busy time across all servers.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.servers.iter().map(SerialResource::busy_time).sum()
+    }
+
+    /// Total requests served across all servers.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.servers.iter().map(SerialResource::served).sum()
+    }
+
+    /// The earliest instant at which *any* server is free.
+    #[must_use]
+    pub fn next_free_at(&self) -> SimTime {
+        self.servers[self.earliest_free()].free_at()
+    }
+}
+
+/// A pipe with finite bandwidth and a fixed propagation latency.
+///
+/// Serialization time (`bytes / bandwidth`) occupies the pipe; propagation
+/// latency delays completion but does not block the next transfer, matching
+/// how pipelined links (PCIe, memory channels, NoC hops) behave.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{BandwidthResource, Bandwidth, SimTime, SimDuration};
+///
+/// let mut link = BandwidthResource::new(Bandwidth::from_gbps(1), SimDuration::from_ns(100));
+/// let r = link.transfer(SimTime::ZERO, 1_000); // 1 KB at 1 GB/s = 1 us wire time
+/// assert_eq!(r.ready, SimTime::from_ps(1_000_000));
+/// assert_eq!(r.complete, SimTime::from_ps(1_100_000)); // + 100 ns flight
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandwidthResource {
+    bandwidth: Bandwidth,
+    latency: SimDuration,
+    pipe: SerialResource,
+    bytes: u64,
+}
+
+impl BandwidthResource {
+    /// Creates an idle link with the given rate and propagation latency.
+    #[must_use]
+    pub fn new(bandwidth: Bandwidth, latency: SimDuration) -> Self {
+        BandwidthResource {
+            bandwidth,
+            latency,
+            pipe: SerialResource::new(),
+            bytes: 0,
+        }
+    }
+
+    /// The configured line rate.
+    #[must_use]
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The configured propagation latency.
+    #[must_use]
+    pub fn latency(&self) -> SimDuration {
+        self.latency
+    }
+
+    /// Transfers `bytes` starting no earlier than `now`.
+    pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Reservation {
+        let wire = self.bandwidth.transfer_time(bytes);
+        let mut r = self.pipe.reserve(now, wire);
+        r.complete = r.ready + self.latency;
+        self.bytes += bytes;
+        r
+    }
+
+    /// Total bytes moved (for per-link energy accounting).
+    #[must_use]
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total time the wire was occupied.
+    #[must_use]
+    pub fn busy_time(&self) -> SimDuration {
+        self.pipe.busy_time()
+    }
+
+    /// The instant the wire next becomes free.
+    #[must_use]
+    pub fn free_at(&self) -> SimTime {
+        self.pipe.free_at()
+    }
+
+    /// Utilization over `[SimTime::ZERO, horizon]` as a fraction in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    #[must_use]
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        assert!(horizon > SimTime::ZERO, "utilization over empty horizon");
+        (self.busy_time().as_ps() as f64 / horizon.as_ps() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_ns(n)
+    }
+    fn at(n: u64) -> SimTime {
+        SimTime::from_ps(n * 1_000)
+    }
+
+    #[test]
+    fn serial_back_to_back_requests_queue() {
+        let mut r = SerialResource::new();
+        let a = r.reserve(at(0), ns(10));
+        let b = r.reserve(at(0), ns(10));
+        assert_eq!(a.start, at(0));
+        assert_eq!(a.ready, at(10));
+        assert_eq!(b.start, at(10));
+        assert_eq!(b.ready, at(20));
+        assert_eq!(b.queueing(at(0)), ns(10));
+        assert_eq!(r.busy_time(), ns(20));
+        assert_eq!(r.served(), 2);
+    }
+
+    #[test]
+    fn serial_idle_gap_not_counted_busy() {
+        let mut r = SerialResource::new();
+        r.reserve(at(0), ns(5));
+        r.reserve(at(100), ns(5));
+        assert_eq!(r.busy_time(), ns(10));
+        assert_eq!(r.free_at(), at(105));
+    }
+
+    #[test]
+    fn block_until_delays_without_busy() {
+        let mut r = SerialResource::new();
+        r.block_until(at(50));
+        let a = r.reserve(at(0), ns(10));
+        assert_eq!(a.start, at(50));
+        assert_eq!(r.busy_time(), ns(10));
+        assert!(!r.is_free(at(55)));
+        assert!(r.is_free(at(60)));
+    }
+
+    #[test]
+    fn multi_parallelism_then_queueing() {
+        let mut m = MultiResource::new(3);
+        let d = ns(10);
+        let rs: Vec<_> = (0..5).map(|_| m.reserve(at(0), d)).collect();
+        assert!(rs[0..3].iter().all(|r| r.start == at(0)));
+        assert_eq!(rs[3].start, at(10));
+        assert_eq!(rs[4].start, at(10));
+        assert_eq!(m.busy_time(), ns(50));
+        assert_eq!(m.served(), 5);
+    }
+
+    #[test]
+    fn multi_ties_resolve_to_lowest_index() {
+        let m = MultiResource::new(4);
+        assert_eq!(m.earliest_free(), 0);
+    }
+
+    #[test]
+    fn multi_reserve_on_pins_server() {
+        let mut m = MultiResource::new(2);
+        let a = m.reserve_on(1, at(0), ns(10));
+        let b = m.reserve_on(1, at(0), ns(10));
+        assert_eq!(a.ready, b.start);
+        // Server 0 is still free.
+        assert_eq!(m.earliest_free(), 0);
+        assert_eq!(m.next_free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_latency_does_not_block_pipe() {
+        let mut link = BandwidthResource::new(Bandwidth::from_gbps(1), ns(100));
+        let a = link.transfer(at(0), 1_000); // 1 us wire
+        let b = link.transfer(at(0), 1_000);
+        assert_eq!(b.start, a.ready); // queues behind serialization only
+        assert_eq!(a.complete, a.ready + ns(100));
+        assert_eq!(link.bytes_transferred(), 2_000);
+    }
+
+    #[test]
+    fn bandwidth_saturation_emerges() {
+        // Push 10 MB through a 1 GB/s link: total wire time must be 10 ms.
+        let mut link = BandwidthResource::new(Bandwidth::from_gbps(1), SimDuration::ZERO);
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            last = link.transfer(SimTime::ZERO, 1_000_000).complete;
+        }
+        assert_eq!(last, SimTime::from_ps(10_000_000_000)); // 10 ms
+        assert!((link.utilization(last) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn multi_rejects_zero_width() {
+        let _ = MultiResource::new(0);
+    }
+
+    #[test]
+    fn reservation_latency_accounts_queueing_and_flight() {
+        let mut link = BandwidthResource::new(Bandwidth::from_gbps(1), ns(50));
+        link.transfer(at(0), 1_000);
+        let r = link.transfer(at(0), 1_000);
+        assert_eq!(r.latency(at(0)), ns(1_000) + ns(1_000) + ns(50));
+    }
+}

@@ -1,0 +1,435 @@
+//! Statistics primitives used to assemble the experiment reports.
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::Counter;
+/// let mut hits = Counter::new("llc_hits");
+/// hits.add(3);
+/// hits.inc();
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a named, zeroed counter.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// The counter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Running summary (count / sum / min / max / mean) of a stream of samples.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::Accumulator;
+/// let mut lat = Accumulator::new("read_latency_ns");
+/// for v in [10.0, 20.0, 30.0] { lat.record(v); }
+/// assert_eq!(lat.mean(), 20.0);
+/// assert_eq!(lat.min(), Some(10.0));
+/// assert_eq!(lat.max(), Some(30.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    name: String,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates a named, empty accumulator.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Accumulator {
+            name: name.into(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN — a NaN sample silently poisons every later
+    /// aggregate, so it is rejected at the door.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "Accumulator::record: NaN sample in {}", self.name);
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The accumulator's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Accumulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.3} min={:.3} max={:.3}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.min().unwrap_or(0.0),
+            self.max().unwrap_or(0.0)
+        )
+    }
+}
+
+/// A power-of-two bucketed histogram for latency-like quantities.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))`; bucket 0 also holds zero.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::Histogram;
+/// let mut h = Histogram::new("queue_delay_ps");
+/// h.record(5);   // bucket 2: [4, 8)
+/// h.record(6);
+/// h.record(100); // bucket 6: [64, 128)
+/// assert_eq!(h.bucket_count(2), 2);
+/// assert_eq!(h.bucket_count(6), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    name: String,
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a named, empty histogram.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Number of samples in bucket `i` (`[2^i, 2^(i+1))`).
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value, 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the p-th percentile (the top of the bucket holding
+    /// that rank), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    #[must_use]
+    pub fn percentile_bound(&self, p: u8) -> u64 {
+        assert!(p <= 100, "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (u128::from(self.count) * u128::from(p)).div_ceil(100).max(1);
+        let mut seen: u128 = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += u128::from(c);
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
+    /// The histogram's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.1} p50<={} p99<={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.percentile_bound(50),
+            self.percentile_bound(99)
+        )
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth or
+/// outstanding-request count over simulated time).
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{TimeWeighted, SimTime};
+/// let mut depth = TimeWeighted::new("queue_depth");
+/// depth.set(SimTime::from_ps(0), 2.0);
+/// depth.set(SimTime::from_ps(10), 4.0);
+/// assert_eq!(depth.average(SimTime::from_ps(20)), 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeWeighted {
+    name: String,
+    last_change: SimTime,
+    value: f64,
+    weighted_sum: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a signal that is 0.0 from the origin.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeWeighted {
+            name: name.into(),
+            last_change: SimTime::ZERO,
+            value: 0.0,
+            weighted_sum: 0.0,
+        }
+    }
+
+    /// Sets the signal value at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous change (signals are appended in
+    /// time order).
+    pub fn set(&mut self, at: SimTime, value: f64) {
+        let span = at.since(self.last_change);
+        self.weighted_sum += self.value * span.as_ps() as f64;
+        self.last_change = at;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at time `at`.
+    pub fn add(&mut self, at: SimTime, delta: f64) {
+        let next = self.value + delta;
+        self.set(at, next);
+    }
+
+    /// Current value of the signal.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[ZERO, until]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` precedes the last recorded change or is zero.
+    #[must_use]
+    pub fn average(&self, until: SimTime) -> f64 {
+        assert!(until > SimTime::ZERO, "average over empty horizon");
+        let tail = until.since(self.last_change);
+        let total = self.weighted_sum + self.value * tail.as_ps() as f64;
+        total / until.as_ps() as f64
+    }
+
+    /// The signal's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Converts a busy duration and active power into joules — the shape every
+/// "power × time" energy term in the workspace uses.
+#[must_use]
+pub fn energy_joules(busy: SimDuration, watts: f64) -> f64 {
+    busy.as_secs_f64() * watts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("c");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "c=10");
+    }
+
+    #[test]
+    fn accumulator_summary() {
+        let mut a = Accumulator::new("a");
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.min(), None);
+        for v in [4.0, 8.0, 0.0] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 12.0);
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.min(), Some(0.0));
+        assert_eq!(a.max(), Some(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn accumulator_rejects_nan() {
+        Accumulator::new("a").record(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new("h");
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(1), 2); // 2 and 3
+        assert_eq!(h.bucket_count(10), 1); // 1024
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), 206.0);
+    }
+
+    #[test]
+    fn histogram_percentile_bounds() {
+        let mut h = Histogram::new("h");
+        for _ in 0..99 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        h.record(1 << 20);
+        assert_eq!(h.percentile_bound(50), 15);
+        assert_eq!(h.percentile_bound(99), 15);
+        assert_eq!(h.percentile_bound(100), (1 << 21) - 1);
+        assert_eq!(Histogram::new("empty").percentile_bound(99), 0);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut s = TimeWeighted::new("q");
+        s.set(SimTime::from_ps(0), 1.0);
+        s.add(SimTime::from_ps(50), 1.0); // value 2.0 from t=50
+        // [0, 50): 1.0; [50, 100): 2.0 -> avg 1.5
+        assert!((s.average(SimTime::from_ps(100)) - 1.5).abs() < 1e-12);
+        assert_eq!(s.current(), 2.0);
+    }
+
+    #[test]
+    fn energy_joules_is_watt_seconds() {
+        let e = energy_joules(SimDuration::from_ms(500), 10.0);
+        assert!((e - 5.0).abs() < 1e-12);
+    }
+}

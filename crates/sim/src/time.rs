@@ -1,0 +1,461 @@
+//! Simulation time: an integer picosecond timeline.
+//!
+//! All timing models in the workspace operate on [`SimTime`] (an absolute
+//! point on the timeline) and [`SimDuration`] (a span). Both wrap a `u64`
+//! count of picoseconds: at 1 ps resolution a `u64` covers ~213 days of
+//! simulated time, far beyond any experiment in this repository, while still
+//! representing a 2 GHz CPU cycle (500 ps), a DDR4-2400 bus tick (833 ps) and
+//! a 273 MHz FPGA kernel cycle (3663 ps) exactly enough that accumulated
+//! rounding error stays below one part in 10^5 over any run.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An absolute point on the simulated timeline, in picoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is ordered, hashable and cheap to copy. Arithmetic with
+/// [`SimDuration`] is checked in debug builds (overflow panics) and
+/// saturating would be a bug: an overflowing timestamp means the simulation
+/// configuration is broken, so we want the loud failure.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_ns(3);
+/// assert_eq!(t.as_ps(), 3_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "idle forever" marker.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw picosecond count.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Returns the raw picosecond count.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant expressed in (fractional) nanoseconds.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Returns this instant expressed in (fractional) microseconds.
+    #[must_use]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Returns this instant expressed in (fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Returns this instant expressed in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is later than `self`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            earlier <= self,
+            "SimTime::since: earlier ({earlier:?}) is after self ({self:?})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Returns the later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= PS_PER_NS {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A span of simulated time, in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::SimDuration;
+/// let d = SimDuration::from_us(2) + SimDuration::from_ns(500);
+/// assert_eq!(d.as_ps(), 2_500_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from a raw picosecond count.
+    #[must_use]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * PS_PER_NS)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * PS_PER_US)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * PS_PER_MS)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * PS_PER_S)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, non-finite, or too large for the
+    /// timeline.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64: invalid seconds value {secs}"
+        );
+        let ps = secs * PS_PER_S as f64;
+        assert!(
+            ps <= u64::MAX as f64,
+            "SimDuration::from_secs_f64: {secs}s overflows the timeline"
+        );
+        SimDuration(ps.round() as u64)
+    }
+
+    /// Returns the raw picosecond count.
+    #[must_use]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span expressed in (fractional) nanoseconds.
+    #[must_use]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Returns the span expressed in (fractional) microseconds.
+    #[must_use]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Returns the span expressed in (fractional) milliseconds.
+    #[must_use]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Returns the span expressed in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// `true` when the span is empty.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two spans.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two spans.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Multiplies the span by an integer scale factor using 128-bit
+    /// intermediate arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result overflows the timeline.
+    #[must_use]
+    pub fn scaled(self, factor: u64) -> SimDuration {
+        let wide = u128::from(self.0) * u128::from(factor);
+        assert!(
+            wide <= u128::from(u64::MAX),
+            "SimDuration::scaled: overflow ({self:?} * {factor})"
+        );
+        SimDuration(wide as u64)
+    }
+
+    /// Divides the span by `n`, rounding up (never under-reports time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn div_ceil(self, n: u64) -> SimDuration {
+        assert!(n > 0, "SimDuration::div_ceil: divide by zero");
+        SimDuration(self.0.div_ceil(n))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Delegate to SimTime's human-friendly unit selection.
+        fmt::Display::fmt(&SimTime(self.0), f)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.scaled(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        assert!(rhs > 0, "SimDuration division by zero");
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimDuration::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimDuration::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t0 = SimTime::from_ps(10);
+        let d = SimDuration::from_ps(32);
+        let t1 = t0 + d;
+        assert_eq!(t1.since(t0), d);
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1e-12).as_ps(), 1);
+        assert_eq!(SimDuration::from_secs_f64(2.5e-12).as_ps(), 3); // round half up
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid seconds")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = SimTime::from_ps(5);
+        let b = SimTime::from_ps(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let da = SimDuration::from_ps(5);
+        let db = SimDuration::from_ps(9);
+        assert_eq!(da.max(db), db);
+        assert_eq!(da.min(db), da);
+    }
+
+    #[test]
+    fn scaled_uses_wide_arithmetic() {
+        let d = SimDuration::from_secs(1);
+        assert_eq!(d.scaled(3).as_ps(), 3 * 1_000_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn scaled_panics_on_overflow() {
+        let _ = SimDuration::from_ps(u64::MAX).scaled(2);
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        assert_eq!(SimDuration::from_ps(10).div_ceil(3).as_ps(), 4);
+        assert_eq!(SimDuration::from_ps(9).div_ceil(3).as_ps(), 3);
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(SimTime::from_ps(500).to_string(), "500ps");
+        assert_eq!(SimTime::from_ps(1_500).to_string(), "1.500ns");
+        assert_eq!(SimTime::from_ps(2_000_000).to_string(), "2.000us");
+        assert_eq!(SimTime::from_ps(3_000_000_000).to_string(), "3.000ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(10));
+    }
+
+    #[test]
+    fn debug_is_nonempty_for_zero() {
+        assert_eq!(format!("{:?}", SimTime::ZERO), "0ps");
+        assert_eq!(format!("{:?}", SimDuration::ZERO), "0ps");
+    }
+}

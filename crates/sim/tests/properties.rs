@@ -1,0 +1,80 @@
+//! Property tests over the simulation primitives.
+
+use proptest::prelude::*;
+use reach_sim::{Bandwidth, EventQueue, Frequency, MultiResource, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The event queue pops in exactly (time, insertion) order — equivalent
+    /// to a stable sort of the input by timestamp.
+    #[test]
+    fn event_queue_is_a_stable_sort(times in proptest::collection::vec(0u64..1_000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ps(t), i);
+        }
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_ps(), i)).collect();
+        let mut want: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        want.sort_by_key(|&(t, _)| t); // stable: preserves insertion order
+        prop_assert_eq!(got, want);
+    }
+
+    /// Popping never goes back in time.
+    #[test]
+    fn event_queue_time_is_monotone(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.push(SimTime::from_ps(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(q.now(), last);
+    }
+
+    /// cycles(a) + cycles(b) differs from cycles(a+b) by at most one
+    /// picosecond per call (ceil rounding), never less.
+    #[test]
+    fn frequency_cycles_superadditive(mhz in 1u64..4_000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let f = Frequency::from_mhz(mhz);
+        let split = f.cycles(a) + f.cycles(b);
+        let joint = f.cycles(a + b);
+        prop_assert!(split >= joint, "split {split:?} < joint {joint:?}");
+        prop_assert!(split.as_ps() - joint.as_ps() <= 2, "rounding drift too large");
+    }
+
+    /// Transfer time scales monotonically with bytes and inversely with rate.
+    #[test]
+    fn bandwidth_monotonicity(bytes in 1u64..(1 << 30), gbps in 1u64..100) {
+        let slow = Bandwidth::from_gbps(gbps);
+        let fast = Bandwidth::from_gbps(gbps * 2);
+        prop_assert!(slow.transfer_time(bytes) >= fast.transfer_time(bytes));
+        prop_assert!(slow.transfer_time(bytes + 1) >= slow.transfer_time(bytes));
+    }
+
+    /// A k-server resource is work-conserving: total busy time equals the
+    /// sum of service demands, and the makespan is at least demand/k.
+    #[test]
+    fn multi_resource_work_conservation(
+        k in 1usize..8,
+        services in proptest::collection::vec(1u64..10_000, 1..64),
+    ) {
+        let mut m = MultiResource::new(k);
+        let total: u64 = services.iter().sum();
+        let mut last = SimTime::ZERO;
+        for &s in &services {
+            let r = m.reserve(SimTime::ZERO, SimDuration::from_ps(s));
+            last = last.max(r.ready);
+        }
+        prop_assert_eq!(m.busy_time(), SimDuration::from_ps(total));
+        let lower = total.div_ceil(k as u64);
+        prop_assert!(last.as_ps() >= lower, "makespan beats the capacity bound");
+        let longest = *services.iter().max().expect("non-empty");
+        prop_assert!(last.as_ps() <= total.max(longest), "worse than serial");
+    }
+}

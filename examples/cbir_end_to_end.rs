@@ -1,0 +1,69 @@
+//! End-to-end CBIR: functional retrieval quality *and* simulated
+//! performance of the same pipeline.
+//!
+//! The functional half builds a synthetic feature database, indexes it with
+//! k-means (the paper's offline stage), answers a query batch through the
+//! short-list + rerank pipeline, and scores recall against exact brute
+//! force. The timed half deploys the billion-scale geometry of the same
+//! pipeline on the ReACH machine model with the paper's proper mapping.
+//!
+//! ```text
+//! cargo run --example cbir_end_to_end --release
+//! ```
+
+use reach_cbir::dataset::{recall, Dataset};
+use reach_cbir::ivf::IvfIndex;
+use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload, FeatureNet};
+use reach_sim::rng::{derived, DEFAULT_SEED};
+
+fn main() {
+    // ---------------- functional half ----------------
+    println!("== functional CBIR (laptop-scale, algorithmically complete) ==");
+    let mut rng = derived(DEFAULT_SEED, "example-e2e");
+
+    // Raw "images" are 256-dim signals; features are 96-dim embeddings.
+    let raw = Dataset::gaussian_mixture(20_000, 256, 64, 0.4, &mut rng);
+    let net = FeatureNet::new(256, 96, 1, DEFAULT_SEED);
+    println!("extracting features for {} images ...", raw.len());
+    let db = net.extract_batch(&raw.points);
+
+    // Offline stage: k-means index over the feature space.
+    let index = IvfIndex::build(&db, 64, &mut rng);
+    println!("built IVF index with {} clusters", index.clusters());
+
+    // Online stage: a 16-query batch through feature extraction,
+    // short-list retrieval and rerank.
+    let (raw_queries, _) = raw.queries(16, 0.02, &mut rng);
+    let queries = net.extract_batch(&raw_queries);
+    let feature_db = Dataset {
+        points: db.clone(),
+        labels: raw.labels.clone(),
+        means: raw.means.clone(),
+    };
+    let truth = feature_db.ground_truth(&queries, 10);
+
+    for nprobe in [1, 2, 4, 8] {
+        let got = index.search(&db, &queries, nprobe, 10, Some(4096));
+        let r = recall(&got, &truth, 10);
+        println!("  nprobe={nprobe:<2} recall@10 = {:.3}", r.recall_at_k);
+    }
+
+    // ---------------- timed half ----------------
+    println!();
+    println!("== timed CBIR (billion-scale geometry on the ReACH model) ==");
+    let workload = CbirWorkload::paper_setup();
+    for mapping in [CbirMapping::AllOnChip, CbirMapping::Proper] {
+        let pipeline = CbirPipeline::new(workload, mapping);
+        let mut machine = reach_cbir::experiments::machine_with(4, 4);
+        let report = pipeline.run(&mut machine, 4);
+        println!(
+            "  {:<12} {:.2} batches/s, {} latency, {:.1} J/batch",
+            mapping.name(),
+            report.throughput_jobs_per_sec(),
+            report.job_latency_mean,
+            report.energy_per_job_j()
+        );
+    }
+    println!();
+    println!("(run `cargo run -p reach-bench --bin experiments --release` for every paper figure)");
+}

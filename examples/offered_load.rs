@@ -1,0 +1,63 @@
+//! Offered-load operating curves: per-query latency vs arrival rate.
+//!
+//! The paper states CBIR throughput "is crucial to user experience" and
+//! assumes queries arrive "sufficiently frequent for batched processing".
+//! This example makes that operational: Poisson query arrivals are batched
+//! (16 per batch, 50 ms deadline) and driven through the on-chip baseline
+//! and the ReACH proper mapping. As the arrival rate approaches a
+//! configuration's bottleneck service rate, queueing delay explodes — and
+//! ReACH sustains several times the load before it does.
+//!
+//! ```text
+//! cargo run --example offered_load --release
+//! ```
+
+use reach::host::{drive, ArrivalProcess, Batcher};
+use reach::SimDuration;
+use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+
+fn main() {
+    let w = CbirWorkload::paper_setup();
+    // Full batches only: the timing workload models a fixed 16-query batch,
+    // so the batcher waits for 16 arrivals (at low rates the batch-formation
+    // wait itself becomes the latency floor — visible below).
+    let batcher = Batcher {
+        batch_size: w.batch,
+        max_wait: None,
+    };
+    let queries = 320; // 20 full batches
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>12}",
+        "queries/s offered", "mean latency", "max latency", "batches"
+    );
+    for (name, mapping) in [("on-chip", CbirMapping::AllOnChip), ("ReACH", CbirMapping::Proper)] {
+        println!("--- {name} ---");
+        for qps in [20u64, 30, 60, 120, 150, 320] {
+            let mean_gap = SimDuration::from_secs_f64(1.0 / qps as f64);
+            let arrivals = ArrivalProcess::Poisson {
+                mean_gap,
+                seed: 0xA11CE,
+            }
+            .arrivals(queries);
+            let batches = batcher.form(&arrivals);
+            let pipeline =
+                CbirPipeline::new(w, mapping).build(&reach_cbir::experiments::machine_with(4, 4));
+            let mut machine = reach_cbir::experiments::machine_with(4, 4);
+            let report = drive(&pipeline, &mut machine, &batches);
+            println!(
+                "{:<26} {:>14} {:>14} {:>12}",
+                format!("{qps} q/s"),
+                report.mean.to_string(),
+                report.max.to_string(),
+                report.batches
+            );
+        }
+    }
+    println!();
+    println!(
+        "the on-chip baseline saturates near ~38 q/s (16 queries / ~420 ms);\n\
+         ReACH stays stable to ~150 q/s (16 queries / ~100 ms bottleneck stage).\n\
+         At 20 q/s both floors are dominated by the 16-query batch-formation wait."
+    );
+}

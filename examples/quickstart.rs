@@ -1,0 +1,60 @@
+//! Quickstart: configure a two-level meta accelerator and run one batch.
+//!
+//! This is the paper's Listing 2 + Listing 3 in ~40 lines: an on-chip CNN
+//! feeding near-storage KNN accelerators through a broadcast stream, driven
+//! by the GAM.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
+
+fn main() {
+    // --- config.h: buffers, streams, accelerators (Listing 2) ---
+    let mut cfg = ReachConfig::new();
+
+    // CNN parameters live in on-chip SRAM; the feature database on an SSD.
+    let vgg_param = cfg.create_fixed_buffer("vgg16_param", Level::OnChip, 11_300_000);
+    let db0 = cfg.create_fixed_buffer("feature_db0", Level::NearStor, 128 << 20);
+    let db1 = cfg.create_fixed_buffer("feature_db1", Level::NearStor, 128 << 20);
+
+    // Streams: query images in from the CPU, features broadcast down the
+    // hierarchy, results collected back.
+    let input = cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 2 << 20, 2);
+    let features = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 6_144, 2);
+    let result = cfg.create_stream(Level::NearStor, Level::Cpu, StreamType::Collect, 1_280, 2);
+
+    // Accelerators: one on-chip CNN, two near-storage KNN shards.
+    let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+    cfg.set_arg(cnn, 0, input);
+    cfg.set_arg(cnn, 1, vgg_param);
+    cfg.set_arg(cnn, 2, features);
+    let knn0 = cfg.register_acc("KNN-ZCU9", Level::NearStor);
+    cfg.set_arg(knn0, 0, features);
+    cfg.set_arg(knn0, 1, db0);
+    cfg.set_arg(knn0, 2, result);
+    let knn1 = cfg.register_acc("KNN-ZCU9", Level::NearStor);
+    cfg.set_arg(knn1, 0, features);
+    cfg.set_arg(knn1, 1, db1);
+    cfg.set_arg(knn1, 2, result);
+
+    // --- host.cpp: the flow (Listing 3) ---
+    let mut pipeline = Pipeline::new(cfg);
+    pipeline.call(cnn, TaskWork::compute(16 * 7_750_000_000), "feature-extraction");
+    pipeline.call(knn0, TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096), "rerank");
+    pipeline.call(knn1, TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096), "rerank");
+
+    // --- run on the paper's Table II machine ---
+    let mut machine = Machine::new(SystemConfig::paper_table2());
+    let report = pipeline.run(&mut machine, 4);
+
+    println!("ran {} batches in {}", report.jobs, report.makespan);
+    println!(
+        "throughput: {:.2} batches/s, energy: {:.2} J/batch",
+        report.throughput_jobs_per_sec(),
+        report.energy_per_job_j()
+    );
+    println!();
+    println!("{report}");
+}

@@ -1,0 +1,48 @@
+//! Export the GAM schedule as a Chrome/Perfetto trace.
+//!
+//! Runs four CBIR batches under the proper mapping with tracing enabled and
+//! writes `reach-trace.json`; load it in <https://ui.perfetto.dev> (or
+//! chrome://tracing) to *see* the three levels working on different batches
+//! concurrently — the paper's Figure 6/7 coordination, as a timeline.
+//!
+//! ```text
+//! cargo run --example trace_export --release
+//! ```
+
+use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+
+fn main() -> std::io::Result<()> {
+    let mut machine = reach_cbir::experiments::machine_with(4, 4);
+    machine.enable_trace();
+
+    let pipeline = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
+    let report = pipeline.build(&machine).run(&mut machine, 4);
+
+    let trace = machine.trace().expect("tracing was enabled");
+    let path = "reach-trace.json";
+    std::fs::write(path, trace.to_chrome_json())?;
+
+    println!("{report}");
+    println!();
+    println!(
+        "wrote {path}: {} events ({} tasks, {} transfers, {} polls)",
+        trace.len(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == reach::TraceKind::Task)
+            .count(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == reach::TraceKind::Dma)
+            .count(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == reach::TraceKind::Poll)
+            .count(),
+    );
+    println!("open it in https://ui.perfetto.dev to inspect the GAM schedule.");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Negative-path coverage: the library must fail loudly and informatively
+//! on misuse, not corrupt a simulation (C-VALIDATE across the stack).
+
+use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
+
+fn machine() -> Machine {
+    Machine::new(SystemConfig::paper_table2())
+}
+
+#[test]
+#[should_panic(expected = "empty pipeline")]
+fn empty_pipeline_rejected() {
+    let p = Pipeline::new(ReachConfig::new());
+    p.run(&mut machine(), 1);
+}
+
+#[test]
+#[should_panic(expected = "zero batches")]
+fn zero_batches_rejected() {
+    let mut cfg = ReachConfig::new();
+    let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+    let mut p = Pipeline::new(cfg);
+    p.call(acc, TaskWork::compute(1), "x");
+    p.run(&mut machine(), 0);
+}
+
+#[test]
+#[should_panic(expected = "unknown template")]
+fn unknown_template_rejected_at_run() {
+    let mut cfg = ReachConfig::new();
+    let acc = cfg.register_acc("NOT-A-REAL-KERNEL", Level::OnChip);
+    let mut p = Pipeline::new(cfg);
+    p.call(acc, TaskWork::compute(1), "x");
+    p.run(&mut machine(), 1);
+}
+
+#[test]
+#[should_panic(expected = "unknown template VGG16-ZCU9 at on-chip")]
+fn template_level_mismatch_rejected() {
+    // A Zynq near-memory bitstream cannot configure the on-chip Virtex slot.
+    let mut cfg = ReachConfig::new();
+    let acc = cfg.register_acc("VGG16-ZCU9", Level::OnChip);
+    let mut p = Pipeline::new(cfg);
+    p.call(acc, TaskWork::compute(1), "x");
+    p.run(&mut machine(), 1);
+}
+
+#[test]
+#[should_panic(expected = "zero depth")]
+fn zero_depth_stream_rejected() {
+    let mut cfg = ReachConfig::new();
+    cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 64, 0);
+}
+
+#[test]
+#[should_panic(expected = "stale handle")]
+fn stale_acc_handle_rejected() {
+    let mut cfg = ReachConfig::new();
+    let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+    let empty = ReachConfig::new();
+    let mut p = Pipeline::new(empty);
+    p.call(acc, TaskWork::compute(1), "x");
+}
+
+#[test]
+#[should_panic(expected = "no accelerators")]
+fn level_without_instances_rejected() {
+    // A machine with zero near-storage units cannot host a near-storage
+    // mapping: the pipeline builder refuses at compile-to-job time.
+    let mut cfg = SystemConfig::paper_table2();
+    cfg.near_storage_accelerators = 0;
+    let degenerate = Machine::new(cfg);
+    let w = reach_cbir::CbirWorkload::paper_setup();
+    let p = reach_cbir::CbirPipeline::new(w, reach_cbir::CbirMapping::AllNearStorage);
+    let _ = p.build(&degenerate);
+}
+
+#[test]
+#[should_panic(expected = "granule")]
+fn zero_granule_gather_rejected() {
+    let _ = TaskWork::gather(1, 64, 0);
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over the whole stack: invariants that must hold
+//! for *every* workload shape, not just the paper's.
+
+use proptest::prelude::*;
+use reach::{ComputeLevel, Machine, SystemConfig, TaskWork};
+use reach_gam::JobBuilder;
+use reach_sim::{Bandwidth, BandwidthResource, SerialResource, SimDuration, SimTime};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serial-resource reservations never overlap and never go backwards.
+    #[test]
+    fn serial_resource_reservations_are_disjoint(
+        requests in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..50)
+    ) {
+        let mut r = SerialResource::new();
+        let mut last_ready = SimTime::ZERO;
+        let mut clock = SimTime::ZERO;
+        for (advance, service) in requests {
+            clock += SimDuration::from_ps(advance);
+            let res = r.reserve(clock, SimDuration::from_ps(service));
+            prop_assert!(res.start >= last_ready.min(res.start));
+            prop_assert!(res.start >= clock);
+            prop_assert!(res.ready == res.start + SimDuration::from_ps(service));
+            prop_assert!(res.ready >= last_ready);
+            last_ready = res.ready;
+        }
+    }
+
+    /// Busy time equals the sum of service times, independent of arrival
+    /// pattern.
+    #[test]
+    fn serial_resource_busy_time_is_conserved(
+        services in proptest::collection::vec(1u64..10_000, 1..64)
+    ) {
+        let mut r = SerialResource::new();
+        let total: u64 = services.iter().sum();
+        for s in &services {
+            r.reserve(SimTime::ZERO, SimDuration::from_ps(*s));
+        }
+        prop_assert_eq!(r.busy_time(), SimDuration::from_ps(total));
+    }
+
+    /// A bandwidth link never beats its configured rate over any request
+    /// mix.
+    #[test]
+    fn bandwidth_link_never_exceeds_rate(
+        sizes in proptest::collection::vec(1u64..(1 << 20), 1..32),
+        gbps in 1u64..64,
+    ) {
+        let mut link = BandwidthResource::new(Bandwidth::from_gbps(gbps), SimDuration::ZERO);
+        let total: u64 = sizes.iter().sum();
+        let mut end = SimTime::ZERO;
+        for s in sizes {
+            end = end.max(link.transfer(SimTime::ZERO, s).complete);
+        }
+        let secs = (end - SimTime::ZERO).as_secs_f64();
+        let achieved = total as f64 / secs;
+        prop_assert!(achieved <= gbps as f64 * 1e9 * 1.001,
+            "achieved {achieved:.3e} over {gbps} GB/s link");
+    }
+
+    /// GAM liveness: any dependency *chain* of tasks across random levels
+    /// and sizes completes, with exactly one interrupt and all work billed.
+    #[test]
+    fn machine_completes_random_task_chains(
+        specs in proptest::collection::vec((0usize..3, 1u64..200), 1..12)
+    ) {
+        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut job = JobBuilder::new(0);
+        let mut works = HashMap::new();
+        let mut prev: Option<reach_gam::TaskId> = None;
+        for (i, (level_pick, mmacs)) in specs.iter().enumerate() {
+            let (level, template) = match level_pick {
+                0 => (ComputeLevel::OnChip, "KNN-VU9P"),
+                1 => (ComputeLevel::NearMemory, "KNN-ZCU9"),
+                _ => (ComputeLevel::NearStorage, "KNN-ZCU9"),
+            };
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            let t = job.task(
+                &format!("s{i}"),
+                template,
+                level,
+                SimDuration::from_us(500),
+                vec![],
+                vec![],
+                deps,
+            );
+            works.insert(t, TaskWork::compute(mmacs * 1_000_000));
+            prev = Some(t);
+        }
+        let n = specs.len() as u64;
+        m.submit(job.build(), works);
+        let r = m.run();
+        prop_assert_eq!(r.jobs, 1);
+        prop_assert_eq!(r.gam.jobs_completed, 1);
+        prop_assert_eq!(r.gam.dispatches, n);
+        prop_assert!(r.makespan > SimDuration::ZERO);
+    }
+
+    /// Monotonicity: strictly more MACs on the same chain never finishes
+    /// earlier.
+    #[test]
+    fn more_work_is_never_faster(base_mmacs in 1u64..1_000) {
+        let run = |mmacs: u64| {
+            let mut m = Machine::new(SystemConfig::paper_table2());
+            let mut job = JobBuilder::new(0);
+            let t = job.task("w", "VGG16-VU9P", ComputeLevel::OnChip,
+                SimDuration::from_ms(1), vec![], vec![], vec![]);
+            m.submit(job.build(), HashMap::from([(t, TaskWork::compute(mmacs * 1_000_000))]));
+            m.run().makespan
+        };
+        let small = run(base_mmacs);
+        let big = run(base_mmacs * 2);
+        prop_assert!(big >= small, "2x MACs finished earlier: {big} < {small}");
+    }
+
+    /// Energy positivity and decomposition for random single-task runs.
+    #[test]
+    fn energy_is_positive_and_decomposes(
+        bytes_mb in 1u64..256,
+        level_pick in 0usize..3,
+    ) {
+        let (level, template) = match level_pick {
+            0 => (ComputeLevel::OnChip, "GEMM-VU9P"),
+            1 => (ComputeLevel::NearMemory, "GEMM-ZCU9"),
+            _ => (ComputeLevel::NearStorage, "GEMM-ZCU9"),
+        };
+        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut job = JobBuilder::new(0);
+        let t = job.task("s", template, level, SimDuration::from_ms(1), vec![], vec![], vec![]);
+        m.submit(job.build(), HashMap::from([
+            (t, TaskWork::stream(1_000_000, bytes_mb << 20)),
+        ]));
+        let r = m.run();
+        let total = r.total_energy_j();
+        prop_assert!(total > 0.0);
+        let sum: f64 = reach::SystemComponent::ALL
+            .iter()
+            .map(|&c| r.ledger.component_total(c))
+            .sum();
+        prop_assert!((sum - total).abs() < 1e-9 * total);
+    }
+}
+
+/// Deterministic replay of a moderately complex random-looking workload.
+#[test]
+fn full_stack_determinism() {
+    let build = || {
+        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut job = JobBuilder::new(0);
+        let mut works = HashMap::new();
+        let buf = job.buffer("db", 32 << 20, Some(ComputeLevel::NearStorage));
+        let a = job.task(
+            "a",
+            "VGG16-VU9P",
+            ComputeLevel::OnChip,
+            SimDuration::from_ms(40),
+            vec![],
+            vec![],
+            vec![],
+        );
+        works.insert(a, TaskWork::compute(5_000_000_000));
+        let b = job.task(
+            "b",
+            "KNN-ZCU9",
+            ComputeLevel::NearMemory,
+            SimDuration::from_ms(20),
+            vec![buf],
+            vec![],
+            vec![a],
+        );
+        works.insert(b, TaskWork::gather(1_000_000, 32 << 20, 4096));
+        m.submit(job.build(), works);
+        m.run()
+    };
+    let r1 = build();
+    let r2 = build();
+    assert_eq!(r1.makespan, r2.makespan);
+    assert_eq!(r1.ledger.to_string(), r2.ledger.to_string());
+    assert_eq!(r1.gam.polls_sent, r2.gam.polls_sent);
+}

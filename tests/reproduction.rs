@@ -1,0 +1,226 @@
+//! The paper-reproduction acceptance suite.
+//!
+//! Every numbered claim the paper's abstract and evaluation make is pinned
+//! here against the acceptance bands recorded in DESIGN.md. If a model or
+//! calibration change drifts outside a band, this suite fails.
+
+use reach_cbir::experiments as exp;
+use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+use reach::ComputeLevel;
+
+/// "ReACH achieves 4.5x throughput gain" — band [3.5, 5.5].
+#[test]
+fn headline_throughput_gain() {
+    let rows = exp::fig13();
+    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    assert!(
+        reach.throughput_gain > 3.5 && reach.throughput_gain < 5.5,
+        "throughput gain {:.2}x outside [3.5, 5.5] (paper: 4.5x)",
+        reach.throughput_gain
+    );
+}
+
+/// "2.2x improvement in query response latency" — band [1.8, 2.8].
+#[test]
+fn headline_latency_gain() {
+    let rows = exp::fig13();
+    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    assert!(
+        reach.latency_gain > 1.8 && reach.latency_gain < 2.8,
+        "latency gain {:.2}x outside [1.8, 2.8] (paper: 2.2x)",
+        reach.latency_gain
+    );
+}
+
+/// "reducing energy consumption by 52%" — band [45%, 60%].
+#[test]
+fn headline_energy_reduction() {
+    let rows = exp::fig13();
+    let base = rows.iter().find(|r| r.mapping == CbirMapping::AllOnChip).unwrap();
+    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    let reduction = 1.0 - reach.energy_total / base.energy_total;
+    assert!(
+        reduction > 0.45 && reduction < 0.60,
+        "energy reduction {:.1}% outside [45, 60] (paper: 52%)",
+        reduction * 100.0
+    );
+}
+
+/// Figure 8: "79% of the total remaining energy cost is due to data
+/// movement" — band [70%, 85%] — and "around 52% of the total cost is for
+/// data movements of the Rerank step" (rerank must dominate).
+#[test]
+fn fig8_movement_and_rerank_dominance() {
+    let f = exp::fig8();
+    assert!(
+        f.movement_fraction > 0.70 && f.movement_fraction < 0.85,
+        "data movement {:.1}% outside [70, 85] (paper: 79%)",
+        f.movement_fraction * 100.0
+    );
+    assert!(
+        f.stage_shares[2] > 0.45,
+        "rerank share {:.1}% should dominate (paper: 61%)",
+        f.stage_shares[2] * 100.0
+    );
+}
+
+/// Figure 9: a single embedded CNN is 7-10x slower than on-chip, but 8-16
+/// instances collectively surpass it; on-chip keeps the best energy.
+#[test]
+fn fig9_feature_extraction_bands() {
+    let rows = exp::fig9();
+    let get = |level, n| {
+        rows.iter()
+            .find(|r| r.level == level && r.instances == n)
+            .unwrap()
+    };
+    for level in [ComputeLevel::NearMemory, ComputeLevel::NearStorage] {
+        let one = get(level, 1);
+        assert!(
+            one.runtime_norm > 7.0 && one.runtime_norm < 11.0,
+            "{level} x1 runtime {:.1} outside the paper's 7-10x",
+            one.runtime_norm
+        );
+        assert!(get(level, 8).runtime_norm < 1.05, "{level} x8 should reach on-chip");
+        assert!(get(level, 16).runtime_norm < 1.0, "{level} x16 should surpass on-chip");
+    }
+    assert!(
+        rows.iter().all(|r| r.energy_norm > 0.95),
+        "on-chip should keep the best feature-extraction energy"
+    );
+}
+
+/// Figure 10: near-memory wins with >= 2 instances (AIMbus + aggregated
+/// DRAM bandwidth); 40-60% energy reduction appears in the sweep;
+/// near-storage runs slightly slower than near-memory.
+#[test]
+fn fig10_shortlist_bands() {
+    let rows = exp::fig10();
+    let nm = |n| {
+        rows.iter()
+            .find(|r| r.level == ComputeLevel::NearMemory && r.instances == n)
+            .unwrap()
+    };
+    let ns = |n| {
+        rows.iter()
+            .find(|r| r.level == ComputeLevel::NearStorage && r.instances == n)
+            .unwrap()
+    };
+    assert!(nm(1).runtime_norm > 1.0, "NM x1 must be slower than on-chip");
+    assert!(nm(2).runtime_norm < 1.0, "NM x2 must beat on-chip");
+    let best_nm_energy = (1..=16)
+        .filter_map(|n| {
+            rows.iter()
+                .find(|r| r.level == ComputeLevel::NearMemory && r.instances == n)
+        })
+        .map(|r| r.energy_norm)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_nm_energy < 0.6,
+        "best NM energy {best_nm_energy:.2} should show the paper's 40-60% cut"
+    );
+    for n in [1usize, 2, 4] {
+        assert!(
+            ns(n).runtime_norm > nm(n).runtime_norm,
+            "NS x{n} should be slightly slower than NM x{n}"
+        );
+    }
+}
+
+/// Figure 11: near-memory rerank plateaus between 8 and 16 instances
+/// (host IO saturation) while near-storage keeps scaling; moving rerank
+/// off-chip saves up to ~60% of its energy.
+#[test]
+fn fig11_rerank_bands() {
+    let rows = exp::fig11();
+    let nm = |n| {
+        rows.iter()
+            .find(|r| r.level == ComputeLevel::NearMemory && r.instances == n)
+            .unwrap()
+            .runtime_norm
+    };
+    let ns = |n| {
+        rows.iter()
+            .find(|r| r.level == ComputeLevel::NearStorage && r.instances == n)
+            .unwrap()
+            .runtime_norm
+    };
+    // Scaling up to 8, then a plateau.
+    assert!(nm(8) < nm(4) && nm(4) < nm(2));
+    assert!(nm(16) / nm(8) > 0.7, "NM 8->16 should plateau ({} -> {})", nm(8), nm(16));
+    // Near-storage keeps scaling 8->16.
+    assert!(ns(16) / ns(8) < 0.7, "NS 8->16 should keep scaling ({} -> {})", ns(8), ns(16));
+    // Energy saving moving rerank off-chip.
+    let best_ns_energy = rows
+        .iter()
+        .filter(|r| r.level == ComputeLevel::NearStorage)
+        .map(|r| r.energy_norm)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_ns_energy < 0.55,
+        "best NS rerank energy {best_ns_energy:.2} should approach the paper's 60% cut"
+    );
+}
+
+/// Figure 12: single near-data levels lose to on-chip at 1 instance and
+/// win at 4 (aggregated bandwidth), for both runtime and energy.
+#[test]
+fn fig12_single_level_bands() {
+    let rows = exp::fig12();
+    let find = |mapping, n| {
+        rows.iter()
+            .find(|r| r.mapping == mapping && r.instances == n)
+            .unwrap()
+    };
+    for mapping in [CbirMapping::AllNearMemory, CbirMapping::AllNearStorage] {
+        assert!(
+            find(mapping, 1).runtime_norm > 1.0,
+            "{} x1 should be slower than on-chip",
+            mapping.name()
+        );
+        assert!(
+            find(mapping, 4).runtime_norm < 1.0,
+            "{} x4 should beat on-chip",
+            mapping.name()
+        );
+        assert!(
+            find(mapping, 4).energy_norm < 1.0,
+            "{} x4 should beat on-chip energy",
+            mapping.name()
+        );
+    }
+}
+
+/// Determinism: the whole evaluation is reproducible bit-for-bit.
+#[test]
+fn experiments_are_deterministic() {
+    let a = exp::fig13();
+    let b = exp::fig13();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.throughput_gain.to_bits(), y.throughput_gain.to_bits());
+        assert_eq!(x.latency_gain.to_bits(), y.latency_gain.to_bits());
+        assert_eq!(x.energy_total.to_bits(), y.energy_total.to_bits());
+    }
+    let f1 = exp::fig8();
+    let f2 = exp::fig8();
+    assert_eq!(f1.ledger.to_string(), f2.ledger.to_string());
+}
+
+/// The pipeline-of-batches invariant behind Figure 13: steady-state
+/// throughput approaches 1 / (longest stage), not 1 / (sum of stages).
+#[test]
+fn throughput_tracks_longest_stage() {
+    let w = CbirWorkload::paper_setup();
+    let p = CbirPipeline::new(w, CbirMapping::Proper);
+    let r = p.run(&mut exp::machine_with(4, 4), 12);
+    let longest_stage_ms = r
+        .stages
+        .iter()
+        .map(|s| s.busy.as_ms_f64() / 12.0)
+        .fold(0.0, f64::max);
+    let interval_ms = r.makespan.as_ms_f64() / 12.0;
+    assert!(
+        interval_ms < 1.35 * longest_stage_ms,
+        "interval {interval_ms:.1} ms vs longest stage {longest_stage_ms:.1} ms"
+    );
+}

@@ -1,0 +1,153 @@
+//! Retrieval-quality integration: the functional CBIR pipeline end to end,
+//! at a scale large enough to be meaningful.
+//!
+//! The paper's motivation for hierarchical acceleration (rather than
+//! compression) is that it "preserves the recall accuracy"; these tests pin
+//! that property on the functional implementation.
+
+use reach_cbir::dataset::{recall, Dataset};
+use reach_cbir::ivf::IvfIndex;
+use reach_cbir::linalg::Matrix;
+use reach_cbir::FeatureNet;
+use reach_sim::rng::{derived, DEFAULT_SEED};
+
+struct Fixture {
+    db: Matrix,
+    index: IvfIndex,
+    queries: Matrix,
+    truth: Vec<Vec<usize>>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = derived(DEFAULT_SEED, "retrieval-quality");
+    let raw = Dataset::gaussian_mixture(30_000, 128, 100, 0.5, &mut rng);
+    let net = FeatureNet::new(128, 96, 1, DEFAULT_SEED);
+    let db = net.extract_batch(&raw.points);
+    let index = IvfIndex::build(&db, 100, &mut rng);
+    let (raw_q, _) = raw.queries(32, 0.1, &mut rng);
+    let queries = net.extract_batch(&raw_q);
+    let ds = Dataset {
+        points: db.clone(),
+        labels: raw.labels,
+        means: raw.means,
+    };
+    let truth = ds.ground_truth(&queries, 10);
+    Fixture {
+        db,
+        index,
+        queries,
+        truth,
+    }
+}
+
+/// The full pipeline (feature net -> IVF short list -> rerank) reaches high
+/// recall with a small probe count on clustered data.
+#[test]
+fn pipeline_recall_at_small_nprobe() {
+    let f = fixture();
+    let got = f.index.search(&f.db, &f.queries, 8, 10, None);
+    let r = recall(&got, &f.truth, 10);
+    assert!(
+        r.recall_at_k > 0.85,
+        "recall@10 = {:.3} with nprobe=8 over 100 clusters",
+        r.recall_at_k
+    );
+}
+
+/// Probing every cluster is exhaustive search: recall must be exactly 1.
+#[test]
+fn exhaustive_probe_is_exact() {
+    let f = fixture();
+    let got = f.index.search(&f.db, &f.queries, f.index.clusters(), 10, None);
+    let r = recall(&got, &f.truth, 10);
+    assert!((r.recall_at_k - 1.0).abs() < 1e-12, "recall {}", r.recall_at_k);
+}
+
+/// Recall is monotone in the probe count (more clusters scanned can only
+/// help).
+#[test]
+fn recall_monotone_in_nprobe() {
+    let f = fixture();
+    let mut last = 0.0;
+    for nprobe in [1, 2, 4, 8, 16, 100] {
+        let got = f.index.search(&f.db, &f.queries, nprobe, 10, None);
+        let r = recall(&got, &f.truth, 10).recall_at_k;
+        assert!(
+            r >= last - 1e-9,
+            "recall dropped from {last:.3} to {r:.3} at nprobe={nprobe}"
+        );
+        last = r;
+    }
+}
+
+/// The candidate cap (the paper's 4096) trades recall for bounded rerank
+/// work: capped recall <= uncapped recall, and a generous cap loses little.
+#[test]
+fn candidate_cap_tradeoff() {
+    let f = fixture();
+    let uncapped = recall(&f.index.search(&f.db, &f.queries, 8, 10, None), &f.truth, 10);
+    let capped = recall(
+        &f.index.search(&f.db, &f.queries, 8, 10, Some(4096)),
+        &f.truth,
+        10,
+    );
+    assert!(capped.recall_at_k <= uncapped.recall_at_k + 1e-9);
+    assert!(
+        capped.recall_at_k > uncapped.recall_at_k - 0.15,
+        "4096 candidates lose too much: {:.3} vs {:.3}",
+        capped.recall_at_k,
+        uncapped.recall_at_k
+    );
+}
+
+/// Feature extraction is a stable embedding: queries derived from database
+/// images retrieve their source image at rank 1 almost always.
+#[test]
+fn near_duplicate_queries_find_their_source() {
+    let mut rng = derived(DEFAULT_SEED, "near-dup");
+    let raw = Dataset::gaussian_mixture(5_000, 128, 50, 0.5, &mut rng);
+    let net = FeatureNet::new(128, 96, 1, DEFAULT_SEED);
+    let db = net.extract_batch(&raw.points);
+    let index = IvfIndex::build(&db, 50, &mut rng);
+    let (raw_q, origin) = raw.queries(50, 0.01, &mut rng);
+    let q = net.extract_batch(&raw_q);
+    let results = index.search(&db, &q, 4, 1, None);
+    let hits = results
+        .iter()
+        .zip(&origin)
+        .filter(|(r, &o)| r.first() == Some(&o))
+        .count();
+    assert!(hits >= 45, "{hits}/50 near-duplicates found their source");
+}
+
+/// Determinism across the whole functional stack.
+#[test]
+fn functional_pipeline_is_deterministic() {
+    let a = fixture();
+    let b = fixture();
+    let ra = a.index.search(&a.db, &a.queries, 4, 10, Some(4096));
+    let rb = b.index.search(&b.db, &b.queries, 4, 10, Some(4096));
+    assert_eq!(ra, rb);
+}
+
+/// The decomposed-distance short list equals the naive per-centroid
+/// distance computation (Equation 1 == Equation 2 at system level).
+#[test]
+fn shortlist_matches_naive_centroid_scan() {
+    let f = fixture();
+    let lists = f.index.short_lists(&f.queries, 5);
+    for (qi, list) in lists.iter().enumerate().take(8) {
+        // Naive: compute all centroid distances directly.
+        let mut naive: Vec<(f32, usize)> = (0..f.index.clusters())
+            .map(|c| {
+                (
+                    reach_cbir::linalg::dist_sq(f.queries.row(qi), f.index.centroids().row(c)),
+                    c,
+                )
+            })
+            .collect();
+        naive.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let naive_ids: Vec<usize> = naive[..5].iter().map(|&(_, c)| c).collect();
+        assert_eq!(list, &naive_ids, "query {qi} short list diverges");
+    }
+}
