@@ -161,10 +161,7 @@ mod tests {
     use crate::templates::TemplateRegistry;
 
     fn slot(level: ComputeLevel) -> Accelerator {
-        Accelerator::new(
-            AcceleratorId { level, index: 0 },
-            SimDuration::from_us(500),
-        )
+        Accelerator::new(AcceleratorId { level, index: 0 }, SimDuration::from_us(500))
     }
 
     #[test]
@@ -199,7 +196,10 @@ mod tests {
         let b = acc.run(t0, SimDuration::from_ms(2));
         assert_eq!(b.start, a.ready);
         assert_eq!(acc.stats().tasks, 2);
-        assert_eq!(acc.busy_time(), SimDuration::from_ms(4) + SimDuration::from_us(500));
+        assert_eq!(
+            acc.busy_time(),
+            SimDuration::from_ms(4) + SimDuration::from_us(500)
+        );
     }
 
     #[test]

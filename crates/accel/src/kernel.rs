@@ -117,7 +117,11 @@ impl KernelSpec {
     #[must_use]
     pub fn compute_time(&self, macs: u64) -> SimDuration {
         let rate = self.macs_per_sec();
-        assert!(rate > 0.0, "KernelSpec::compute_time: {} has no DSP fabric", self.name);
+        assert!(
+            rate > 0.0,
+            "KernelSpec::compute_time: {} has no DSP fabric",
+            self.name
+        );
         let fill = self.frequency.cycles(self.pipeline_depth);
         fill + SimDuration::from_secs_f64(macs as f64 / rate)
     }

@@ -8,8 +8,11 @@
 //! buffer-table isolation and per-level queues are meant to bound.
 
 use crate::queries::ScanQuery;
-use crate::templates::analytics_registry;
-use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
+use crate::templates::analytics_blueprint;
+use reach::{
+    FnScenario, Level, Pipeline, ReachConfig, Scenario, ScenarioExecutor, SequentialExecutor,
+    StreamType, TaskWork,
+};
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
 use reach_sim::SimDuration;
 
@@ -88,44 +91,66 @@ fn scan_pipeline(query: &ScanQuery, shards: u64) -> Pipeline {
 /// the GAM schedules both tenants through the same per-level queues.
 #[must_use]
 pub fn co_run_interference(cbir_batches: usize, query: &ScanQuery) -> CoRunReport {
-    let cfg = SystemConfig::paper_table2();
-    let shards = cfg.near_storage_accelerators as u64;
+    co_run_interference_with(&SequentialExecutor, cbir_batches, query)
+}
+
+/// [`co_run_interference`] through an explicit executor: the two isolated
+/// runs and the shared run are three independent scenarios.
+#[must_use]
+pub fn co_run_interference_with(
+    executor: &dyn ScenarioExecutor,
+    cbir_batches: usize,
+    query: &ScanQuery,
+) -> CoRunReport {
+    let blueprint = analytics_blueprint();
+    let shards = blueprint.config().near_storage_accelerators as u64;
     let cbir = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
+    let query = *query;
 
-    // Isolated runs.
-    let cbir_alone = {
-        let mut m = Machine::with_registry(cfg.clone(), analytics_registry());
-        cbir.build(&m).run(&mut m, cbir_batches).makespan
+    let scenarios: Vec<Box<dyn Scenario>> = vec![
+        Box::new(FnScenario::new(
+            "corun/cbir-alone",
+            blueprint.clone(),
+            move |machine| cbir.run(machine, cbir_batches),
+        )),
+        Box::new(FnScenario::new(
+            "corun/scan-alone",
+            blueprint.clone(),
+            move |machine| scan_pipeline(&query, shards).run(machine, 1),
+        )),
+        Box::new(FnScenario::new(
+            "corun/shared",
+            blueprint.clone(),
+            // Shared run: submit both tenants' jobs up front.
+            move |machine| {
+                let cbir_p = cbir.build(machine);
+                for batch in 0..cbir_batches {
+                    let (job, works) = cbir_p.job_for_batch(machine, batch as u64);
+                    machine.submit(job, works);
+                }
+                let scan_p = scan_pipeline(&query, shards);
+                let (scan_job, scan_works) = scan_p.job_for_batch(machine, 512);
+                machine.submit(scan_job, scan_works);
+                machine.run()
+            },
+        )),
+    ];
+    let results = executor.run_all(scenarios);
+    let [cbir_alone_r, scan_alone_r, shared] = &results[..] else {
+        unreachable!("three scenarios in, three results out")
     };
-    let scan_alone = {
-        let mut m = Machine::with_registry(cfg.clone(), analytics_registry());
-        let p = scan_pipeline(query, shards);
-        p.run(&mut m, 1).makespan
-    };
-
-    // Shared run: submit both tenants' jobs up front.
-    let mut m = Machine::with_registry(cfg, analytics_registry());
-    let cbir_p = cbir.build(&m);
-    for batch in 0..cbir_batches {
-        let (job, works) = cbir_p.job_for_batch(&m, batch as u64);
-        m.submit(job, works);
-    }
-    let scan_p = scan_pipeline(query, shards);
-    let (scan_job, scan_works) = scan_p.job_for_batch(&m, 512);
-    m.submit(scan_job, scan_works);
-    let shared = m.run();
 
     // Completions are reported in job-id order: CBIR batches first, the
     // scan job (id-space 512) last.
-    let completions = shared.job_completions();
+    let completions = shared.report.job_completions();
     assert_eq!(completions.len(), cbir_batches + 1);
     let cbir_shared = completions[cbir_batches - 1].since(reach_sim::SimTime::ZERO);
     let scan_shared = completions[cbir_batches].since(reach_sim::SimTime::ZERO);
 
     CoRunReport {
-        cbir_alone,
+        cbir_alone: cbir_alone_r.report.makespan,
         cbir_shared,
-        scan_alone,
+        scan_alone: scan_alone_r.report.makespan,
         scan_shared,
     }
 }
@@ -145,8 +170,14 @@ mod tests {
     #[test]
     fn co_run_completes_both_tenants() {
         let r = co_run_interference(4, &query());
-        assert!(r.cbir_shared >= r.cbir_alone, "sharing cannot speed CBIR up");
-        assert!(r.scan_shared >= r.scan_alone, "sharing cannot speed the scan up");
+        assert!(
+            r.cbir_shared >= r.cbir_alone,
+            "sharing cannot speed CBIR up"
+        );
+        assert!(
+            r.scan_shared >= r.scan_alone,
+            "sharing cannot speed the scan up"
+        );
     }
 
     #[test]

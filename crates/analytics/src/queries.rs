@@ -8,8 +8,8 @@
 //! aggregate SSD bandwidth and the shared host interface — the
 //! Netezza-style offloading result the paper cites as prior evidence.
 
-use reach::{Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, SystemConfig, TaskWork};
-use crate::templates::analytics_registry;
+use crate::templates::analytics_blueprint;
+use reach::{Level, Pipeline, ReachConfig, RunReport, StreamType, TaskWork};
 
 /// Where the scan runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,9 +84,9 @@ impl ScanQuery {
     pub fn run(&self, placement: AnalyticsPlacement) -> RunReport {
         assert!(self.table_bytes > 0 && self.row_bytes > 0, "empty query");
         assert!(self.selectivity_pct <= 100, "selectivity over 100%");
-        let cfg = SystemConfig::paper_table2();
-        let mut machine = Machine::with_registry(cfg.clone(), analytics_registry());
-        let shards = cfg.near_storage_accelerators as u64;
+        let blueprint = analytics_blueprint();
+        let shards = blueprint.config().near_storage_accelerators as u64;
+        let mut machine = blueprint.instantiate();
 
         let mut rc = ReachConfig::new();
         let result = rc.create_stream(Level::OnChip, Level::Cpu, StreamType::Pair, 4 << 10, 2);

@@ -6,9 +6,16 @@
 //! accelerator, once a compute kernel is carefully designed … stored as an
 //! accelerator template").
 
-use reach::TemplateRegistry;
+use reach::{MachineBlueprint, SystemConfig, TemplateRegistry};
 use reach_accel::{ComputeLevel, FpgaPart, KernelClass, KernelSpec, Utilization};
 use reach_sim::Frequency;
+
+/// The machine every analytics experiment runs on: the paper's Table II
+/// shape with the analytics kernels registered alongside the CBIR ones.
+#[must_use]
+pub fn analytics_blueprint() -> MachineBlueprint {
+    MachineBlueprint::with_registry(SystemConfig::paper_table2(), analytics_registry())
+}
 
 /// The Table III registry extended with the analytics kernels.
 #[must_use]
@@ -32,7 +39,10 @@ pub fn analytics_registry() -> TemplateRegistry {
         pipeline_depth: 24,
         io_bytes_per_cycle: 128.0, // 35 GB/s: never the bottleneck on-chip
     });
-    for (level, power) in [(ComputeLevel::NearMemory, 2.1), (ComputeLevel::NearStorage, 2.8)] {
+    for (level, power) in [
+        (ComputeLevel::NearMemory, 2.1),
+        (ComputeLevel::NearStorage, 2.8),
+    ] {
         reg.register(KernelSpec {
             name: "SCAN-ZCU9",
             class: KernelClass::Knn,
@@ -60,7 +70,10 @@ pub fn analytics_registry() -> TemplateRegistry {
         pipeline_depth: 48,
         io_bytes_per_cycle: 128.0,
     });
-    for (level, power) in [(ComputeLevel::NearMemory, 3.4), (ComputeLevel::NearStorage, 4.2)] {
+    for (level, power) in [
+        (ComputeLevel::NearMemory, 3.4),
+        (ComputeLevel::NearStorage, 4.2),
+    ] {
         reg.register(KernelSpec {
             name: "AGG-ZCU9",
             class: KernelClass::Gemm,
@@ -86,7 +99,9 @@ mod tests {
         let reg = analytics_registry();
         // 9 paper kernels + 2 SCAN-ZCU9 + 1 SCAN-VU9P + 2 AGG-ZCU9 + 1 AGG-VU9P.
         assert_eq!(reg.len(), 15);
-        assert!(reg.resolve("SCAN-ZCU9", ComputeLevel::NearStorage).is_some());
+        assert!(reg
+            .resolve("SCAN-ZCU9", ComputeLevel::NearStorage)
+            .is_some());
         assert!(reg.resolve("VGG16-VU9P", ComputeLevel::OnChip).is_some());
     }
 
@@ -95,13 +110,21 @@ mod tests {
         let reg = analytics_registry();
         let scan = reg.resolve("SCAN-ZCU9", ComputeLevel::NearStorage).unwrap();
         let rate = scan.io_rate_bytes_per_sec().unwrap();
-        assert!(rate >= 12.0e9, "scan datapath {rate:.2e} below the 12 GB/s link");
+        assert!(
+            rate >= 12.0e9,
+            "scan datapath {rate:.2e} below the 12 GB/s link"
+        );
     }
 
     #[test]
     fn analytics_kernels_fit_their_parts() {
         for k in analytics_registry().iter() {
-            assert!(k.part.fits(k.utilization), "{} overflows {}", k.name, k.part);
+            assert!(
+                k.part.fits(k.utilization),
+                "{} overflows {}",
+                k.name,
+                k.part
+            );
         }
     }
 }

@@ -59,5 +59,11 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(cbir_kernels, bench_gemm, bench_topk, bench_features, bench_search);
+criterion_group!(
+    cbir_kernels,
+    bench_gemm,
+    bench_topk,
+    bench_features,
+    bench_search
+);
 criterion_main!(cbir_kernels);

@@ -41,5 +41,10 @@ fn bench_corun(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(extensions, bench_recall_vs_compression, bench_analytics, bench_corun);
+criterion_group!(
+    extensions,
+    bench_recall_vs_compression,
+    bench_analytics,
+    bench_corun
+);
 criterion_main!(extensions);

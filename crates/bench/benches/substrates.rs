@@ -2,7 +2,10 @@
 //! themselves run (host wall-clock per simulated operation).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use reach_mem::{AccessKind, Cache, CacheConfig, Dimm, DimmConfig, MemoryController, MemoryControllerConfig, RowPolicy};
+use reach_mem::{
+    AccessKind, Cache, CacheConfig, Dimm, DimmConfig, MemoryController, MemoryControllerConfig,
+    RowPolicy,
+};
 use reach_sim::{EventQueue, SimDuration, SimTime};
 use reach_storage::{PcieSwitch, Ssd, SsdConfig};
 
@@ -42,7 +45,13 @@ fn bench_dram(c: &mut Criterion) {
     g.bench_function("stream_64mib", |b| {
         b.iter(|| {
             let mut d = Dimm::new(DimmConfig::ddr4_16gb());
-            let r = d.stream(SimTime::ZERO, 0, 64 << 20, AccessKind::Read, RowPolicy::OpenPage);
+            let r = d.stream(
+                SimTime::ZERO,
+                0,
+                64 << 20,
+                AccessKind::Read,
+                RowPolicy::OpenPage,
+            );
             black_box(r.complete)
         });
     });
@@ -55,7 +64,10 @@ fn bench_controller(c: &mut Criterion) {
     g.bench_function("interleaved_stream_64mib", |b| {
         b.iter(|| {
             let mut mc = MemoryController::new(MemoryControllerConfig::paper_mc());
-            black_box(mc.stream(SimTime::ZERO, 0, 64 << 20, AccessKind::Read).complete)
+            black_box(
+                mc.stream(SimTime::ZERO, 0, 64 << 20, AccessKind::Read)
+                    .complete,
+            )
         });
     });
     g.finish();
@@ -105,14 +117,14 @@ fn bench_pcie(c: &mut Criterion) {
 }
 
 fn bench_machine(c: &mut Criterion) {
-    use reach::{Machine, SystemConfig};
+    use reach::MachineBlueprint;
     use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
     let mut g = c.benchmark_group("machine");
     g.sample_size(20);
     g.bench_function("proper_mapping_one_batch", |b| {
         let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
         b.iter(|| {
-            let mut m = Machine::new(SystemConfig::paper_table2());
+            let mut m = MachineBlueprint::paper().instantiate();
             black_box(p.run(&mut m, 1).makespan)
         });
     });

@@ -1,15 +1,42 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run -p reach-bench --bin experiments --release          # everything
-//! cargo run -p reach-bench --bin experiments --release -- fig13 # one id
+//! cargo run -p reach-bench --bin experiments --release            # everything
+//! cargo run -p reach-bench --bin experiments --release -- fig13  # one id
+//! cargo run -p reach-bench --bin experiments --release -- --jobs 4
 //! ```
+//!
+//! `--jobs N` fans each experiment's scenarios across `N` threads via
+//! [`reach_bench::ScenarioRunner`]; the printed rows are byte-identical to
+//! the default sequential run (`--jobs 1`). The wall-clock summary goes to
+//! stderr so stdout stays comparable across job counts.
 
+use reach::{ScenarioExecutor, SequentialExecutor};
+use reach_bench::runner::CountingExecutor;
+use reach_bench::ScenarioRunner;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
     let renderers = reach_bench::renderers();
+
+    let mut jobs = 1usize;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            jobs = match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n >= 1 => n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else {
+            args.push(a.clone());
+        }
+    }
 
     if args.iter().any(|a| a == "--list") {
         for (name, _) in &renderers {
@@ -41,11 +68,24 @@ fn main() -> ExitCode {
         picked
     };
 
+    let sequential = SequentialExecutor;
+    let runner = ScenarioRunner::new(jobs);
+    let inner: &dyn ScenarioExecutor = if jobs == 1 { &sequential } else { &runner };
+    let executor = CountingExecutor::new(inner);
+
+    let started = Instant::now();
     for (i, (_, render)) in selected.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        print!("{}", render());
+        print!("{}", render(&executor));
     }
+    eprintln!(
+        "ran {} scenario(s) across {} experiment(s) with {} job(s) in {:.2}s",
+        executor.scenarios_run(),
+        selected.len(),
+        jobs,
+        started.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

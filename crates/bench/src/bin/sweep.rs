@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! cargo run -p reach-bench --bin sweep --release -- \
-//!     --nm 8 --ns 8 --batches 16 --mapping proper --candidates 8192
+//!     --nm 2,4,8 --ns 4 --batches 16 --mapping proper --jobs 4
 //! ```
 
 use reach_bench::sweep::SweepArgs;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -15,14 +16,15 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: sweep [--nm N] [--ns N] [--batches N] [--batch-size N] \
-                 [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential]"
+                "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
+                 [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
+                 [--jobs N]"
             );
             return ExitCode::FAILURE;
         }
     };
     println!(
-        "mapping {:?}, {} NM + {} NS accelerators, {} batches of {} queries, {} candidates/query{}",
+        "mapping {:?}, nm {:?} x ns {:?}, {} batches of {} queries, {} candidates/query{}",
         args.mapping,
         args.nm,
         args.ns,
@@ -31,7 +33,18 @@ fn main() -> ExitCode {
         args.candidates,
         if args.sequential { " (sequential)" } else { "" }
     );
-    let report = args.run();
-    println!("{report}");
+    let started = Instant::now();
+    let results = args.run_all();
+    for r in &results {
+        println!();
+        println!("{}", r.label);
+        println!("{}", r.report);
+    }
+    eprintln!(
+        "ran {} scenario(s) with {} job(s) in {:.2}s",
+        results.len(),
+        args.jobs,
+        started.elapsed().as_secs_f64()
+    );
     ExitCode::SUCCESS
 }

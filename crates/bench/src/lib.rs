@@ -13,16 +13,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod runner;
 pub mod sweep;
 
-use reach::SystemComponent;
+pub use runner::ScenarioRunner;
+
+use reach::{ScenarioExecutor, SystemComponent};
 use reach_cbir::experiments as exp;
 use reach_cbir::pipeline::CbirStage;
 use std::fmt::Write as _;
 
 /// Renders Table I in the paper's layout.
 #[must_use]
-pub fn render_table1() -> String {
+pub fn render_table1(_executor: &dyn ScenarioExecutor) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE I. MEMORY AND COMPUTE REQUIREMENTS PER CBIR STAGE");
     for row in exp::table1() {
@@ -33,11 +36,17 @@ pub fn render_table1() -> String {
 
 /// Renders Table II (the system configuration).
 #[must_use]
-pub fn render_table2() -> String {
+pub fn render_table2(_executor: &dyn ScenarioExecutor) -> String {
     let cfg = exp::table2();
     let mut s = String::new();
-    let _ = writeln!(s, "TABLE II. EXPERIMENTAL SETUP OF THE COMPUTE HIERARCHY SYSTEM");
-    let _ = writeln!(s, "  CPU: 1 x86-64 OoO core @ 2 GHz, 32 KB L1, 2 MB shared L2");
+    let _ = writeln!(
+        s,
+        "TABLE II. EXPERIMENTAL SETUP OF THE COMPUTE HIERARCHY SYSTEM"
+    );
+    let _ = writeln!(
+        s,
+        "  CPU: 1 x86-64 OoO core @ 2 GHz, 32 KB L1, 2 MB shared L2"
+    );
     let _ = writeln!(
         s,
         "  Memory controllers: 2 MCs, {}-entry read / {}-entry write queues, FR-FCFS",
@@ -61,7 +70,10 @@ pub fn render_table2() -> String {
         "  On-chip accelerator: Virtex UltraScale+, {} to shared cache",
         cfg.onchip_cache_bandwidth
     );
-    let _ = writeln!(s, "  Near-memory accelerator: Zynq UltraScale+, ~18 GB/s to its DDR4 DIMM");
+    let _ = writeln!(
+        s,
+        "  Near-memory accelerator: Zynq UltraScale+, ~18 GB/s to its DDR4 DIMM"
+    );
     let _ = writeln!(
         s,
         "  Near-storage accelerator: Zynq UltraScale+ with {} GB DRAM, 12 GB/s to its SSD",
@@ -72,7 +84,7 @@ pub fn render_table2() -> String {
 
 /// Renders Table III (the kernel registry).
 #[must_use]
-pub fn render_table3() -> String {
+pub fn render_table3(_executor: &dyn ScenarioExecutor) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "TABLE III. FPGA UTILIZATION FOR EACH ACCELERATOR");
     let _ = writeln!(
@@ -97,10 +109,13 @@ pub fn render_table3() -> String {
 
 /// Renders Table IV (the energy model).
 #[must_use]
-pub fn render_table4() -> String {
+pub fn render_table4(_executor: &dyn ScenarioExecutor) -> String {
     let p = exp::table4();
     let mut s = String::new();
-    let _ = writeln!(s, "TABLE IV. ENERGY MODEL CONSTANTS (TOOLS REDUCED TO NUMBERS)");
+    let _ = writeln!(
+        s,
+        "TABLE IV. ENERGY MODEL CONSTANTS (TOOLS REDUCED TO NUMBERS)"
+    );
     let _ = writeln!(
         s,
         "  Cache (CACTI-class): {} pJ/access, {} W leakage",
@@ -134,10 +149,13 @@ pub fn render_table4() -> String {
 
 /// Renders Figure 8 (baseline energy breakdown).
 #[must_use]
-pub fn render_fig8() -> String {
-    let f = exp::fig8();
+pub fn render_fig8(executor: &dyn ScenarioExecutor) -> String {
+    let f = exp::fig8_with(executor);
     let mut s = String::new();
-    let _ = writeln!(s, "FIGURE 8. ENERGY BREAKDOWN, CBIR FULLY ON-CHIP (one batch)");
+    let _ = writeln!(
+        s,
+        "FIGURE 8. ENERGY BREAKDOWN, CBIR FULLY ON-CHIP (one batch)"
+    );
     let _ = write!(s, "{}", f.ledger);
     let _ = writeln!(
         s,
@@ -157,7 +175,10 @@ pub fn render_fig8() -> String {
 fn render_stage_scaling(title: &str, rows: &[exp::StageScalingRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{title}");
-    let _ = writeln!(s, "  (runtime and energy normalized to the on-chip accelerator)");
+    let _ = writeln!(
+        s,
+        "  (runtime and energy normalized to the on-chip accelerator)"
+    );
     for r in rows {
         let _ = writeln!(s, "  {r}");
     }
@@ -166,34 +187,37 @@ fn render_stage_scaling(title: &str, rows: &[exp::StageScalingRow]) -> String {
 
 /// Renders Figure 9 (feature-extraction scaling).
 #[must_use]
-pub fn render_fig9() -> String {
+pub fn render_fig9(executor: &dyn ScenarioExecutor) -> String {
     render_stage_scaling(
         "FIGURE 9. FEATURE EXTRACTION AT NEAR-MEMORY / NEAR-STORAGE",
-        &exp::fig9(),
+        &exp::fig9_with(executor),
     )
 }
 
 /// Renders Figure 10 (short-list retrieval scaling).
 #[must_use]
-pub fn render_fig10() -> String {
+pub fn render_fig10(executor: &dyn ScenarioExecutor) -> String {
     render_stage_scaling(
         "FIGURE 10. SHORT-LIST RETRIEVAL AT NEAR-MEMORY / NEAR-STORAGE",
-        &exp::fig10(),
+        &exp::fig10_with(executor),
     )
 }
 
 /// Renders Figure 11 (rerank scaling).
 #[must_use]
-pub fn render_fig11() -> String {
-    render_stage_scaling("FIGURE 11. RERANK AT NEAR-MEMORY / NEAR-STORAGE", &exp::fig11())
+pub fn render_fig11(executor: &dyn ScenarioExecutor) -> String {
+    render_stage_scaling(
+        "FIGURE 11. RERANK AT NEAR-MEMORY / NEAR-STORAGE",
+        &exp::fig11_with(executor),
+    )
 }
 
 /// Renders Figure 12 (end-to-end, single compute level).
 #[must_use]
-pub fn render_fig12() -> String {
+pub fn render_fig12(executor: &dyn ScenarioExecutor) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "FIGURE 12. END-TO-END CBIR ON A SINGLE COMPUTE LEVEL");
-    for r in exp::fig12() {
+    for r in exp::fig12_with(executor) {
         let _ = writeln!(s, "  {r}");
     }
     s
@@ -201,8 +225,8 @@ pub fn render_fig12() -> String {
 
 /// Renders Figure 13 (the headline comparison).
 #[must_use]
-pub fn render_fig13() -> String {
-    let rows = exp::fig13();
+pub fn render_fig13(executor: &dyn ScenarioExecutor) -> String {
+    let rows = exp::fig13_with(executor);
     let mut s = String::new();
     let _ = writeln!(s, "FIGURE 13. CBIR ON ReACH VS SINGLE-LEVEL ACCELERATION");
     for r in &rows {
@@ -244,79 +268,79 @@ fn render_ablation(title: &str, rows: &[reach_cbir::ablations::AblationRow]) -> 
 
 /// Renders the status-poll interval ablation.
 #[must_use]
-pub fn render_ablation_poll() -> String {
+pub fn render_ablation_poll(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. GAM MINIMUM STATUS-POLL INTERVAL (proper mapping)",
-        &reach_cbir::ablations::poll_interval(),
+        &reach_cbir::ablations::poll_interval_with(executor),
     )
 }
 
 /// Renders the reconfiguration-delay ablation.
 #[must_use]
-pub fn render_ablation_reconfig() -> String {
+pub fn render_ablation_reconfig(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. PARTIAL-RECONFIGURATION DELAY (on-chip baseline)",
-        &reach_cbir::ablations::reconfig_delay(),
+        &reach_cbir::ablations::reconfig_delay_with(executor),
     )
 }
 
 /// Renders the cross-job pipelining ablation.
 #[must_use]
-pub fn render_ablation_pipelining() -> String {
+pub fn render_ablation_pipelining(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. GAM CROSS-JOB PIPELINING ON/OFF",
-        &reach_cbir::ablations::pipelining(),
+        &reach_cbir::ablations::pipelining_with(executor),
     )
 }
 
 /// Renders the GEMM tile-budget ablation.
 #[must_use]
-pub fn render_ablation_tile() -> String {
+pub fn render_ablation_tile(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. EMBEDDED GEMM TILE BUDGET (BRAM capacity proxy)",
-        &reach_cbir::ablations::sl_tile_budget(),
+        &reach_cbir::ablations::sl_tile_budget_with(executor),
     )
 }
 
 /// Renders the batch-size ablation (throughput column is queries/s).
 #[must_use]
-pub fn render_ablation_batch() -> String {
+pub fn render_ablation_batch(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. QUERY BATCH SIZE (throughput column = queries/s)",
-        &reach_cbir::ablations::batch_size(),
+        &reach_cbir::ablations::batch_size_with(executor),
     )
 }
 
 /// Renders the rerank candidate-volume ablation.
 #[must_use]
-pub fn render_ablation_candidates() -> String {
+pub fn render_ablation_candidates(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. RERANK CANDIDATE VOLUME",
-        &reach_cbir::ablations::candidate_volume(),
+        &reach_cbir::ablations::candidate_volume_with(executor),
     )
 }
 
 /// Renders the interleave-reorganization ablation.
 #[must_use]
-pub fn render_ablation_interleave() -> String {
+pub fn render_ablation_interleave(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. GAM MEMORY-SPACE REORGANIZATION (tile vs cache-line interleave)",
-        &reach_cbir::ablations::interleave_reorganization(),
+        &reach_cbir::ablations::interleave_reorganization_with(executor),
     )
 }
 
 /// Renders the rerank-placement ablation.
 #[must_use]
-pub fn render_ablation_rerank_home() -> String {
+pub fn render_ablation_rerank_home(executor: &dyn ScenarioExecutor) -> String {
     render_ablation(
         "ABLATION. RERANK STAGE PLACEMENT (single-stage runs)",
-        &reach_cbir::ablations::rerank_placement(),
+        &reach_cbir::ablations::rerank_placement_with(executor),
     )
 }
 
 /// Renders the recall-vs-compression extension experiment.
 #[must_use]
-pub fn render_extension_recall() -> String {
+pub fn render_extension_recall(_executor: &dyn ScenarioExecutor) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -335,7 +359,7 @@ pub fn render_extension_recall() -> String {
 
 /// Renders the analytics-offload extension experiment.
 #[must_use]
-pub fn render_extension_analytics() -> String {
+pub fn render_extension_analytics(_executor: &dyn ScenarioExecutor) -> String {
     use reach_analytics::{AnalyticsPlacement, ScanQuery};
     let mut s = String::new();
     let _ = writeln!(
@@ -364,14 +388,14 @@ pub fn render_extension_analytics() -> String {
 
 /// Renders the multi-tenant co-run extension experiment.
 #[must_use]
-pub fn render_extension_corun() -> String {
-    use reach_analytics::{co_run_interference, ScanQuery};
+pub fn render_extension_corun(executor: &dyn ScenarioExecutor) -> String {
+    use reach_analytics::{co_run_interference_with, ScanQuery};
     let q = ScanQuery {
         table_bytes: 8 << 30,
         selectivity_pct: 2,
         row_bytes: 64,
     };
-    let r = co_run_interference(6, &q);
+    let r = co_run_interference_with(executor, 6, &q);
     let mut s = String::new();
     let _ = writeln!(
         s,
@@ -399,14 +423,19 @@ pub fn render_extension_corun() -> String {
     s
 }
 
-/// A named experiment renderer.
-pub type Renderer = (&'static str, fn() -> String);
+/// A named experiment renderer. Every renderer drives its simulations
+/// through the given executor, so the whole suite parallelizes with one
+/// [`ScenarioRunner`] — with output byte-identical to sequential.
+pub type Renderer = (&'static str, fn(&dyn ScenarioExecutor) -> String);
 
 /// Every renderer keyed by the experiment id accepted on the command line.
 #[must_use]
 pub fn renderers() -> Vec<Renderer> {
     vec![
-        ("table1", render_table1 as fn() -> String),
+        (
+            "table1",
+            render_table1 as fn(&dyn ScenarioExecutor) -> String,
+        ),
         ("table2", render_table2),
         ("table3", render_table3),
         ("table4", render_table4),
@@ -438,24 +467,29 @@ pub fn stage_label(stage: CbirStage) -> &'static str {
 
 /// Re-exported so binaries can format component names consistently.
 pub fn component_names() -> Vec<String> {
-    SystemComponent::ALL.iter().map(ToString::to_string).collect()
+    SystemComponent::ALL
+        .iter()
+        .map(ToString::to_string)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use reach::SequentialExecutor;
+
     #[test]
     fn all_renderers_produce_output() {
         for (name, f) in renderers() {
-            let out = f();
+            let out = f(&SequentialExecutor);
             assert!(out.len() > 40, "{name} output too short:\n{out}");
         }
     }
 
     #[test]
     fn fig13_render_mentions_headline() {
-        let out = render_fig13();
+        let out = render_fig13(&SequentialExecutor);
         assert!(out.contains("throughput"));
         assert!(out.contains("paper 4.5x"));
     }

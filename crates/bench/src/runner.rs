@@ -1,0 +1,166 @@
+//! Deterministic thread-parallel scenario execution.
+//!
+//! [`ScenarioRunner`] is the parallel counterpart of
+//! [`reach::SequentialExecutor`]: it fans a batch of scenarios across up to
+//! `jobs` OS threads and collects the results **in submission order**.
+//! Scenarios are independent by contract (each instantiates its own machine
+//! from its blueprint and derives all randomness from its own seed), so the
+//! output is byte-identical to sequential execution — parallelism only
+//! changes the wall clock, never a report.
+//!
+//! The runner uses `std::thread::scope` and an atomic work index; there is
+//! no thread pool, no channel and no external dependency. Machines are
+//! built and dropped inside the worker that claims the scenario, so only
+//! the scenarios themselves and their finished [`ScenarioResult`]s cross
+//! thread boundaries.
+
+use reach::{Scenario, ScenarioExecutor, ScenarioResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A work-stealing, order-preserving executor over OS threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioRunner {
+    jobs: usize,
+}
+
+impl ScenarioRunner {
+    /// An executor that runs at most `jobs` scenarios concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs > 0, "ScenarioRunner needs at least one worker");
+        ScenarioRunner { jobs }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+impl ScenarioExecutor for ScenarioRunner {
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
+        let n = scenarios.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            // One worker degenerates to the reference implementation.
+            return reach::SequentialExecutor.run_all(scenarios);
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // The machine is instantiated, driven and dropped
+                    // entirely inside this worker.
+                    let result = ScenarioResult {
+                        label: scenarios[i].label(),
+                        report: scenarios[i].execute(),
+                    };
+                    slots.lock().expect("result slots poisoned")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|r| r.expect("every claimed scenario stores its result"))
+            .collect()
+    }
+}
+
+/// Wraps an executor and counts how many scenarios pass through it —
+/// the `experiments` binary uses this for its wall-clock summary.
+pub struct CountingExecutor<'a> {
+    inner: &'a dyn ScenarioExecutor,
+    count: AtomicUsize,
+}
+
+impl<'a> CountingExecutor<'a> {
+    /// Counts scenarios delegated to `inner`.
+    #[must_use]
+    pub fn new(inner: &'a dyn ScenarioExecutor) -> Self {
+        CountingExecutor {
+            inner,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Scenarios executed so far.
+    #[must_use]
+    pub fn scenarios_run(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl ScenarioExecutor for CountingExecutor<'_> {
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
+        self.count.fetch_add(scenarios.len(), Ordering::Relaxed);
+        self.inner.run_all(scenarios)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach::SequentialExecutor;
+    use reach_cbir::{blueprint_with, CbirMapping, CbirPipeline, CbirScenario, CbirWorkload};
+
+    fn batch() -> Vec<Box<dyn Scenario>> {
+        let w = CbirWorkload::paper_setup();
+        CbirMapping::ALL
+            .iter()
+            .map(|&mapping| {
+                Box::new(CbirScenario::full(
+                    format!("runner/{}", mapping.name()),
+                    blueprint_with(4, 4),
+                    CbirPipeline::new(w, mapping),
+                    2,
+                )) as Box<dyn Scenario>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = SequentialExecutor.run_all(batch());
+        let par = ScenarioRunner::new(4).run_all(batch());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(s.report.makespan, p.report.makespan);
+            assert_eq!(s.report.to_string(), p.report.to_string());
+        }
+    }
+
+    #[test]
+    fn more_workers_than_scenarios_is_fine() {
+        let results = ScenarioRunner::new(64).run_all(batch());
+        assert_eq!(results.len(), CbirMapping::ALL.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ScenarioRunner::new(0);
+    }
+
+    #[test]
+    fn counting_executor_counts() {
+        let runner = ScenarioRunner::new(2);
+        let counting = CountingExecutor::new(&runner);
+        let _ = counting.run_all(batch());
+        assert_eq!(counting.scenarios_run(), CbirMapping::ALL.len());
+    }
+}

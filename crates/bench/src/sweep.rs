@@ -1,18 +1,24 @@
 //! Configuration for the `sweep` binary: run any CBIR mapping on any
-//! machine shape from the command line.
+//! machine shape — or a grid of shapes — from the command line.
+//!
+//! `--nm` and `--ns` accept comma-separated lists; the sweep runs the cross
+//! product of shapes, one [`CbirScenario`] per point, fanned across
+//! `--jobs` threads by the [`ScenarioRunner`]. Results come back in grid
+//! order regardless of the job count.
 
-use reach::{Machine, RunReport, SystemConfig};
-use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+use crate::runner::ScenarioRunner;
+use reach::{Scenario, ScenarioExecutor, ScenarioResult};
+use reach_cbir::{blueprint_with, CbirMapping, CbirPipeline, CbirScenario, CbirWorkload};
 use std::fmt;
 
 /// Parsed sweep parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SweepArgs {
-    /// Near-memory accelerator count.
-    pub nm: usize,
-    /// Near-storage unit count.
-    pub ns: usize,
-    /// Batches to run.
+    /// Near-memory accelerator counts (one sweep axis).
+    pub nm: Vec<usize>,
+    /// Near-storage unit counts (the other sweep axis).
+    pub ns: Vec<usize>,
+    /// Batches to run per point.
     pub batches: usize,
     /// Mapping to deploy.
     pub mapping: CbirMapping,
@@ -22,18 +28,21 @@ pub struct SweepArgs {
     pub batch_size: usize,
     /// Run synchronously (no GAM cross-batch pipelining).
     pub sequential: bool,
+    /// Worker threads for the sweep grid.
+    pub jobs: usize,
 }
 
 impl Default for SweepArgs {
     fn default() -> Self {
         SweepArgs {
-            nm: 4,
-            ns: 4,
+            nm: vec![4],
+            ns: vec![4],
             batches: 8,
             mapping: CbirMapping::Proper,
             candidates: 4096,
             batch_size: 16,
             sequential: false,
+            jobs: 1,
         }
     }
 }
@@ -53,9 +62,10 @@ impl std::error::Error for ParseSweepError {}
 impl SweepArgs {
     /// Parses `--key value` style arguments.
     ///
-    /// Accepted keys: `--nm`, `--ns`, `--batches`, `--batch-size`,
-    /// `--candidates`, `--mapping onchip|near-mem|near-stor|proper`,
-    /// `--sequential`.
+    /// Accepted keys: `--nm`, `--ns` (both accept comma-separated lists),
+    /// `--batches`, `--batch-size`, `--candidates`,
+    /// `--mapping onchip|near-mem|near-stor|proper`, `--sequential`,
+    /// `--jobs`.
     ///
     /// # Errors
     ///
@@ -65,23 +75,31 @@ impl SweepArgs {
         let mut out = SweepArgs::default();
         let mut it = args.iter();
         while let Some(key) = it.next() {
-            let mut take_usize = |key: &str| -> Result<usize, ParseSweepError> {
+            let mut take = |key: &str| -> Result<&String, ParseSweepError> {
                 it.next()
-                    .ok_or_else(|| ParseSweepError(format!("{key} needs a value")))?
-                    .parse()
+                    .ok_or_else(|| ParseSweepError(format!("{key} needs a value")))
+            };
+            let take_usize = |v: &str, key: &str| -> Result<usize, ParseSweepError> {
+                v.parse()
                     .map_err(|_| ParseSweepError(format!("{key} needs an integer")))
             };
+            let take_list = |v: &str, key: &str| -> Result<Vec<usize>, ParseSweepError> {
+                v.split(',').map(|tok| take_usize(tok, key)).collect()
+            };
             match key.as_str() {
-                "--nm" => out.nm = take_usize("--nm")?,
-                "--ns" => out.ns = take_usize("--ns")?,
-                "--batches" => out.batches = take_usize("--batches")?,
-                "--batch-size" => out.batch_size = take_usize("--batch-size")?,
-                "--candidates" => out.candidates = take_usize("--candidates")?,
+                "--nm" => out.nm = take_list(take("--nm")?, "--nm")?,
+                "--ns" => out.ns = take_list(take("--ns")?, "--ns")?,
+                "--batches" => out.batches = take_usize(take("--batches")?, "--batches")?,
+                "--batch-size" => {
+                    out.batch_size = take_usize(take("--batch-size")?, "--batch-size")?;
+                }
+                "--candidates" => {
+                    out.candidates = take_usize(take("--candidates")?, "--candidates")?;
+                }
+                "--jobs" => out.jobs = take_usize(take("--jobs")?, "--jobs")?,
                 "--sequential" => out.sequential = true,
                 "--mapping" => {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| ParseSweepError("--mapping needs a value".into()))?;
+                    let v = take("--mapping")?;
                     out.mapping = match v.as_str() {
                         "onchip" | "on-chip" => CbirMapping::AllOnChip,
                         "near-mem" | "nearmem" => CbirMapping::AllNearMemory,
@@ -93,28 +111,45 @@ impl SweepArgs {
                 other => return Err(ParseSweepError(format!("unknown flag '{other}'"))),
             }
         }
-        if out.nm == 0 || out.ns == 0 || out.batches == 0 || out.batch_size == 0 {
+        if out.nm.is_empty()
+            || out.ns.is_empty()
+            || out.nm.contains(&0)
+            || out.ns.contains(&0)
+            || out.batches == 0
+            || out.batch_size == 0
+            || out.jobs == 0
+        {
             return Err(ParseSweepError("counts must be positive".into()));
         }
         Ok(out)
     }
 
-    /// Runs the configured sweep point.
+    /// The sweep grid: one scenario per `(nm, ns)` shape, in grid order.
     #[must_use]
-    pub fn run(&self) -> RunReport {
+    pub fn scenarios(&self) -> Vec<Box<dyn Scenario>> {
         let mut workload = CbirWorkload::paper_setup();
         workload.candidates_per_query = self.candidates;
         workload.batch = self.batch_size;
-        let cfg = SystemConfig::paper_table2()
-            .with_near_memory(self.nm)
-            .with_near_storage(self.ns);
         let pipeline = CbirPipeline::new(workload, self.mapping);
-        let mut machine = Machine::new(cfg);
-        if self.sequential {
-            pipeline.run_sequential(&mut machine, self.batches)
-        } else {
-            pipeline.run(&mut machine, self.batches)
+        let mut points: Vec<Box<dyn Scenario>> = Vec::new();
+        for &nm in &self.nm {
+            for &ns in &self.ns {
+                let label = format!("sweep/{}/nm{nm}-ns{ns}", self.mapping.name());
+                let blueprint = blueprint_with(nm, ns);
+                points.push(Box::new(if self.sequential {
+                    CbirScenario::synchronous(label, blueprint, pipeline, self.batches)
+                } else {
+                    CbirScenario::full(label, blueprint, pipeline, self.batches)
+                }));
+            }
         }
+        points
+    }
+
+    /// Runs the whole grid across `jobs` workers.
+    #[must_use]
+    pub fn run_all(&self) -> Vec<ScenarioResult> {
+        ScenarioRunner::new(self.jobs).run_all(self.scenarios())
     }
 }
 
@@ -131,9 +166,18 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d, SweepArgs::default());
         let a = parse(&["--nm", "8", "--mapping", "near-stor", "--sequential"]).unwrap();
-        assert_eq!(a.nm, 8);
+        assert_eq!(a.nm, vec![8]);
         assert_eq!(a.mapping, CbirMapping::AllNearStorage);
         assert!(a.sequential);
+    }
+
+    #[test]
+    fn parses_lists_and_jobs() {
+        let a = parse(&["--nm", "2,4,8", "--ns", "1,2", "--jobs", "3"]).unwrap();
+        assert_eq!(a.nm, vec![2, 4, 8]);
+        assert_eq!(a.ns, vec![1, 2]);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.scenarios().len(), 6);
     }
 
     #[test]
@@ -141,15 +185,21 @@ mod tests {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--nm"]).is_err());
         assert!(parse(&["--nm", "x"]).is_err());
+        assert!(parse(&["--nm", "4,"]).is_err());
         assert!(parse(&["--mapping", "sideways"]).is_err());
         assert!(parse(&["--batches", "0"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
     }
 
     #[test]
-    fn runs_a_small_point() {
-        let args = parse(&["--nm", "2", "--ns", "2", "--batches", "2"]).unwrap();
-        let r = args.run();
-        assert_eq!(r.jobs, 2);
-        assert!(r.total_energy_j() > 0.0);
+    fn runs_a_small_grid() {
+        let args = parse(&["--nm", "2,4", "--ns", "2", "--batches", "2", "--jobs", "2"]).unwrap();
+        let results = args.run_all();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "sweep/ReACH/nm2-ns2");
+        for r in &results {
+            assert_eq!(r.report.jobs, 2);
+            assert!(r.report.total_energy_j() > 0.0);
+        }
     }
 }

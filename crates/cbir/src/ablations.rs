@@ -8,8 +8,9 @@
 //! under `ablation-*` ids.
 
 use crate::pipeline::{CbirMapping, CbirPipeline};
+use crate::scenarios::CbirScenario;
 use crate::workload::CbirWorkload;
-use reach::{Machine, SimDuration, SystemConfig};
+use reach::{MachineBlueprint, Scenario, ScenarioExecutor, SequentialExecutor, SimDuration};
 use std::fmt;
 
 /// A generic ablation row: one parameter value and its outcomes.
@@ -35,16 +36,49 @@ impl fmt::Display for AblationRow {
     }
 }
 
-fn measure(cfg: SystemConfig, pipeline: &CbirPipeline, batches: usize) -> (f64, f64, f64) {
-    let mut machine = Machine::new(cfg.clone());
-    let steady = pipeline.run(&mut machine, batches);
-    let mut single_machine = Machine::new(cfg);
-    let single = pipeline.run(&mut single_machine, 1);
-    (
-        steady.throughput_jobs_per_sec(),
-        single.job_latency_mean.as_ms_f64(),
-        single.total_energy_j(),
-    )
+/// One ablation point before measurement: a setting name, the machine, the
+/// deployment and the steady-state batch count.
+struct Point {
+    setting: String,
+    blueprint: MachineBlueprint,
+    pipeline: CbirPipeline,
+    batches: usize,
+}
+
+/// Measures every point (steady-state throughput from a `batches`-deep run,
+/// latency and energy from a single-batch run) through `executor`. Each
+/// point contributes two independent scenarios, so a parallel executor
+/// fans the whole family out at once.
+fn measure_points(executor: &dyn ScenarioExecutor, points: Vec<Point>) -> Vec<AblationRow> {
+    let scenarios: Vec<Box<dyn Scenario>> = points
+        .iter()
+        .flat_map(|p| {
+            let steady: Box<dyn Scenario> = Box::new(CbirScenario::full(
+                format!("ablation/{}/steady", p.setting),
+                p.blueprint.clone(),
+                p.pipeline,
+                p.batches,
+            ));
+            let single: Box<dyn Scenario> = Box::new(CbirScenario::full(
+                format!("ablation/{}/single", p.setting),
+                p.blueprint.clone(),
+                p.pipeline,
+                1,
+            ));
+            [steady, single]
+        })
+        .collect();
+    let results = executor.run_all(scenarios);
+    points
+        .into_iter()
+        .zip(results.chunks(2))
+        .map(|(p, pair)| AblationRow {
+            setting: p.setting,
+            throughput: pair[0].report.throughput_jobs_per_sec(),
+            latency_ms: pair[1].report.job_latency_mean.as_ms_f64(),
+            energy_j: pair[1].report.total_energy_j(),
+        })
+        .collect()
 }
 
 /// Sweep the GAM's minimum status-poll interval. The paper's protocol polls
@@ -53,21 +87,24 @@ fn measure(cfg: SystemConfig, pipeline: &CbirPipeline, batches: usize) -> (f64, 
 /// under-estimated tasks.
 #[must_use]
 pub fn poll_interval() -> Vec<AblationRow> {
+    poll_interval_with(&SequentialExecutor)
+}
+
+/// [`poll_interval`] through an explicit executor.
+#[must_use]
+pub fn poll_interval_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
     let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
-    [10u64, 50, 200, 1_000, 5_000, 20_000]
+    let base = MachineBlueprint::paper();
+    let points = [10u64, 50, 200, 1_000, 5_000, 20_000]
         .into_iter()
-        .map(|us| {
-            let mut cfg = SystemConfig::paper_table2();
-            cfg.gam.min_poll_interval = SimDuration::from_us(us);
-            let (t, l, e) = measure(cfg, &p, 8);
-            AblationRow {
-                setting: format!("min poll interval {us} us"),
-                throughput: t,
-                latency_ms: l,
-                energy_j: e,
-            }
+        .map(|us| Point {
+            setting: format!("min poll interval {us} us"),
+            blueprint: base.map_config(|cfg| cfg.gam.min_poll_interval = SimDuration::from_us(us)),
+            pipeline: p,
+            batches: 8,
         })
-        .collect()
+        .collect();
+    measure_points(executor, points)
 }
 
 /// Sweep the partial-reconfiguration delay. The paper ignores it ("today's
@@ -76,37 +113,64 @@ pub fn poll_interval() -> Vec<AblationRow> {
 /// swaps CNN -> GeMM -> KNN every batch.
 #[must_use]
 pub fn reconfig_delay() -> Vec<AblationRow> {
+    reconfig_delay_with(&SequentialExecutor)
+}
+
+/// [`reconfig_delay`] through an explicit executor.
+#[must_use]
+pub fn reconfig_delay_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
     let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllOnChip);
-    [0u64, 500, 1_000, 5_000, 20_000, 100_000]
+    let base = MachineBlueprint::paper();
+    let points = [0u64, 500, 1_000, 5_000, 20_000, 100_000]
         .into_iter()
-        .map(|us| {
-            let mut cfg = SystemConfig::paper_table2();
-            cfg.reconfig_delay = SimDuration::from_us(us);
-            let (t, l, e) = measure(cfg, &p, 4);
-            AblationRow {
-                setting: format!("reconfig delay {:.1} ms", us as f64 / 1_000.0),
-                throughput: t,
-                latency_ms: l,
-                energy_j: e,
-            }
+        .map(|us| Point {
+            setting: format!("reconfig delay {:.1} ms", us as f64 / 1_000.0),
+            blueprint: base.map_config(|cfg| cfg.reconfig_delay = SimDuration::from_us(us)),
+            pipeline: p,
+            batches: 4,
         })
-        .collect()
+        .collect();
+    measure_points(executor, points)
 }
 
 /// GAM cross-job pipelining on vs off, per mapping — quantifying "assigns
 /// tasks from the next job … without waiting".
 #[must_use]
 pub fn pipelining() -> Vec<AblationRow> {
+    pipelining_with(&SequentialExecutor)
+}
+
+/// [`pipelining`] through an explicit executor.
+#[must_use]
+pub fn pipelining_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
     let w = CbirWorkload::paper_setup();
     let batches = 8;
-    CbirMapping::ALL
+    let scenarios: Vec<Box<dyn Scenario>> = CbirMapping::ALL
         .iter()
         .flat_map(|&mapping| {
             let p = CbirPipeline::new(w, mapping);
-            let mut seq_m = Machine::new(SystemConfig::paper_table2());
-            let seq = p.run_sequential(&mut seq_m, batches);
-            let mut pipe_m = Machine::new(SystemConfig::paper_table2());
-            let pipe = p.run(&mut pipe_m, batches);
+            let seq: Box<dyn Scenario> = Box::new(CbirScenario::synchronous(
+                format!("ablation/{}/synchronous", mapping.name()),
+                MachineBlueprint::paper(),
+                p,
+                batches,
+            ));
+            let pipe: Box<dyn Scenario> = Box::new(CbirScenario::full(
+                format!("ablation/{}/pipelined", mapping.name()),
+                MachineBlueprint::paper(),
+                p,
+                batches,
+            ));
+            [seq, pipe]
+        })
+        .collect();
+    let results = executor.run_all(scenarios);
+    CbirMapping::ALL
+        .iter()
+        .zip(results.chunks(2))
+        .flat_map(|(&mapping, pair)| {
+            let seq = &pair[0].report;
+            let pipe = &pair[1].report;
             [
                 AblationRow {
                     setting: format!("{} / synchronous", mapping.name()),
@@ -130,47 +194,58 @@ pub fn pipelining() -> Vec<AblationRow> {
 /// behind Figure 10's single-instance penalty.
 #[must_use]
 pub fn sl_tile_budget() -> Vec<AblationRow> {
-    [275u64, 550, 1_100, 2_200]
+    sl_tile_budget_with(&SequentialExecutor)
+}
+
+/// [`sl_tile_budget`] through an explicit executor.
+#[must_use]
+pub fn sl_tile_budget_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
+    let points = [275u64, 550, 1_100, 2_200]
         .into_iter()
         .map(|mb| {
             let mut w = CbirWorkload::paper_setup();
             w.embedded_sl_fit_bytes = mb * 1_000_000;
-            let p = CbirPipeline::new(w, CbirMapping::Proper);
-            let (t, l, e) = measure(SystemConfig::paper_table2(), &p, 8);
-            AblationRow {
+            Point {
                 setting: format!("GEMM tile budget {mb} MB"),
-                throughput: t,
-                latency_ms: l,
-                energy_j: e,
+                blueprint: MachineBlueprint::paper(),
+                pipeline: CbirPipeline::new(w, CbirMapping::Proper),
+                batches: 8,
             }
         })
-        .collect()
+        .collect();
+    measure_points(executor, points)
 }
 
 /// Sweep the query batch size. Larger batches amortize transfers but
 /// lengthen every stage; the paper fixes 16.
 #[must_use]
 pub fn batch_size() -> Vec<AblationRow> {
-    [4usize, 8, 16, 32, 64]
+    batch_size_with(&SequentialExecutor)
+}
+
+/// [`batch_size`] through an explicit executor.
+#[must_use]
+pub fn batch_size_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
+    let sizes = [4usize, 8, 16, 32, 64];
+    let points = sizes
         .into_iter()
         .map(|b| {
             let mut w = CbirWorkload::paper_setup();
             w.batch = b;
-            let p = CbirPipeline::new(w, CbirMapping::Proper);
-            let cfg = SystemConfig::paper_table2();
-            let mut machine = Machine::new(cfg.clone());
-            let steady = p.run(&mut machine, 8);
-            let mut single_m = Machine::new(cfg);
-            let single = p.run(&mut single_m, 1);
-            AblationRow {
+            Point {
                 setting: format!("batch size {b}"),
-                // Report *queries* per second so sizes are comparable.
-                throughput: steady.throughput_jobs_per_sec() * b as f64,
-                latency_ms: single.job_latency_mean.as_ms_f64(),
-                energy_j: single.total_energy_j(),
+                blueprint: MachineBlueprint::paper(),
+                pipeline: CbirPipeline::new(w, CbirMapping::Proper),
+                batches: 8,
             }
         })
-        .collect()
+        .collect();
+    let mut rows = measure_points(executor, points);
+    // Report *queries* per second so sizes are comparable.
+    for (row, b) in rows.iter_mut().zip(sizes) {
+        row.throughput *= b as f64;
+    }
+    rows
 }
 
 /// Sweep the rerank candidate volume (the paper fixes 4096 per query "to
@@ -178,23 +253,26 @@ pub fn batch_size() -> Vec<AblationRow> {
 /// bottleneck toward the storage level and amplify ReACH's advantage.
 #[must_use]
 pub fn candidate_volume() -> Vec<AblationRow> {
-    [1_024usize, 4_096, 16_384, 65_536]
+    candidate_volume_with(&SequentialExecutor)
+}
+
+/// [`candidate_volume`] through an explicit executor.
+#[must_use]
+pub fn candidate_volume_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
+    let points = [1_024usize, 4_096, 16_384, 65_536]
         .into_iter()
         .flat_map(|c| {
             let mut w = CbirWorkload::paper_setup();
             w.candidates_per_query = c;
-            [CbirMapping::AllOnChip, CbirMapping::Proper].map(|mapping| {
-                let p = CbirPipeline::new(w, mapping);
-                let (t, l, e) = measure(SystemConfig::paper_table2(), &p, 6);
-                AblationRow {
-                    setting: format!("{} candidates / {}", c, mapping.name()),
-                    throughput: t,
-                    latency_ms: l,
-                    energy_j: e,
-                }
+            [CbirMapping::AllOnChip, CbirMapping::Proper].map(|mapping| Point {
+                setting: format!("{} candidates / {}", c, mapping.name()),
+                blueprint: MachineBlueprint::paper(),
+                pipeline: CbirPipeline::new(w, mapping),
+                batches: 6,
             })
         })
-        .collect()
+        .collect();
+    measure_points(executor, points)
 }
 
 /// The GAM's memory-space reorganization (Section III-B), on vs off: with
@@ -203,49 +281,67 @@ pub fn candidate_volume() -> Vec<AblationRow> {
 /// AIMbus.
 #[must_use]
 pub fn interleave_reorganization() -> Vec<AblationRow> {
+    interleave_reorganization_with(&SequentialExecutor)
+}
+
+/// [`interleave_reorganization`] through an explicit executor.
+#[must_use]
+pub fn interleave_reorganization_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
     let w = CbirWorkload::paper_setup();
-    [true, false]
+    let base = MachineBlueprint::paper();
+    let points = [true, false]
         .into_iter()
-        .map(|tiled| {
-            let mut cfg = SystemConfig::paper_table2();
-            cfg.nm_tile_interleave = tiled;
-            let p = CbirPipeline::new(w, CbirMapping::Proper);
-            let (t, l, e) = measure(cfg, &p, 8);
-            AblationRow {
-                setting: if tiled {
-                    "tile interleave (GAM reorganized)".into()
-                } else {
-                    "cache-line interleave (not reorganized)".into()
-                },
-                throughput: t,
-                latency_ms: l,
-                energy_j: e,
-            }
+        .map(|tiled| Point {
+            setting: if tiled {
+                "tile interleave (GAM reorganized)".into()
+            } else {
+                "cache-line interleave (not reorganized)".into()
+            },
+            blueprint: base.map_config(|cfg| cfg.nm_tile_interleave = tiled),
+            pipeline: CbirPipeline::new(w, CbirMapping::Proper),
+            batches: 8,
         })
-        .collect()
+        .collect();
+    measure_points(executor, points)
 }
 
 /// Sweep the rerank stage's placement with everything else mapped properly
 /// — is near-storage really the right home? (Section IV-B's argument.)
 #[must_use]
 pub fn rerank_placement() -> Vec<AblationRow> {
+    rerank_placement_with(&SequentialExecutor)
+}
+
+/// [`rerank_placement`] through an explicit executor.
+#[must_use]
+pub fn rerank_placement_with(executor: &dyn ScenarioExecutor) -> Vec<AblationRow> {
     use crate::pipeline::CbirStage as S;
     let w = CbirWorkload::paper_setup();
     // Build three custom mappings by reusing the named ones for FE/SL and
     // measuring rerank at each level through single-stage runs relative to
     // the full pipeline.
-    CbirMapping::ALL
+    let scenarios: Vec<Box<dyn Scenario>> = CbirMapping::ALL
         .iter()
         .map(|&mapping| {
-            let p = CbirPipeline::new(w, mapping);
-            let mut m = Machine::new(SystemConfig::paper_table2());
-            let r = p.run_stage(&mut m, S::Rerank, 1);
-            AblationRow {
-                setting: format!("rerank at {}", mapping.level_of(S::Rerank)),
-                throughput: r.throughput_jobs_per_sec(),
-                latency_ms: r.makespan.as_ms_f64(),
-                energy_j: r.total_energy_j(),
-            }
+            let boxed: Box<dyn Scenario> = Box::new(CbirScenario::stage(
+                format!("ablation/rerank-at-{}", mapping.level_of(S::Rerank)),
+                MachineBlueprint::paper(),
+                CbirPipeline::new(w, mapping),
+                S::Rerank,
+                1,
+            ));
+            boxed
+        })
+        .collect();
+    let results = executor.run_all(scenarios);
+    CbirMapping::ALL
+        .iter()
+        .zip(results)
+        .map(|(&mapping, result)| AblationRow {
+            setting: format!("rerank at {}", mapping.level_of(S::Rerank)),
+            throughput: result.report.throughput_jobs_per_sec(),
+            latency_ms: result.report.makespan.as_ms_f64(),
+            energy_j: result.report.total_energy_j(),
         })
         .collect()
 }
@@ -274,8 +370,8 @@ mod tests {
         let zero = &rows[0];
         let sub_ms = &rows[1]; // 0.5 ms
         let huge = rows.last().unwrap(); // 100 ms
-        // Sub-millisecond reprogramming is within 2% of free — the paper's
-        // justification for ignoring it.
+                                         // Sub-millisecond reprogramming is within 2% of free — the paper's
+                                         // justification for ignoring it.
         assert!(
             (sub_ms.latency_ms - zero.latency_ms) / zero.latency_ms < 0.02,
             "sub-ms reconfig visibly hurt: {} vs {}",

@@ -172,7 +172,10 @@ mod tests {
             r < 0.9,
             "64-bit codes should lose measurable recall, got {r:.3}"
         );
-        assert!(r > 0.05, "codes should still retrieve something, got {r:.3}");
+        assert!(
+            r > 0.05,
+            "codes should still retrieve something, got {r:.3}"
+        );
     }
 
     #[test]
@@ -191,6 +194,9 @@ mod tests {
         };
         let short = r(32);
         let long = r(512);
-        assert!(long > short, "recall should grow with bits: {short:.3} -> {long:.3}");
+        assert!(
+            long > short,
+            "recall should grow with bits: {short:.3} -> {long:.3}"
+        );
     }
 }

@@ -148,7 +148,11 @@ pub fn recall(retrieved: &[Vec<usize>], truth: &[Vec<usize>], k: usize) -> Recal
     assert!(k > 0, "recall: k = 0");
     let mut total = 0.0f64;
     for (r, t) in retrieved.iter().zip(truth) {
-        let hits = r.iter().take(k).filter(|i| t[..k.min(t.len())].contains(i)).count();
+        let hits = r
+            .iter()
+            .take(k)
+            .filter(|i| t[..k.min(t.len())].contains(i))
+            .count();
         total += hits as f64 / k as f64;
     }
     RecallReport {
@@ -189,11 +193,7 @@ mod tests {
         let ds = Dataset::gaussian_mixture(200, 8, 4, 0.5, &mut rng);
         let (q, origin) = ds.queries(10, 0.01, &mut rng);
         let gt = ds.ground_truth(&q, 1);
-        let hits = gt
-            .iter()
-            .zip(&origin)
-            .filter(|(nn, &o)| nn[0] == o)
-            .count();
+        let hits = gt.iter().zip(&origin).filter(|(nn, &o)| nn[0] == o).count();
         assert!(hits >= 9, "only {hits}/10 queries found their origin");
     }
 

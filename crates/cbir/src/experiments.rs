@@ -7,20 +7,13 @@
 //! records paper-vs-measured values.
 
 use crate::pipeline::{CbirMapping, CbirPipeline, CbirStage};
+use crate::scenarios::{blueprint_with, CbirScenario};
 use crate::workload::CbirWorkload;
-use reach::{ComputeLevel, EnergyLedger, Machine, RunReport, SystemConfig};
+use reach::{
+    ComputeLevel, EnergyLedger, RunReport, Scenario, ScenarioExecutor, SequentialExecutor,
+    SystemConfig,
+};
 use std::fmt;
-
-/// Builds the machine for `mapping`-style runs with the given number of
-/// near-memory / near-storage instances.
-#[must_use]
-pub fn machine_with(nm: usize, ns: usize) -> Machine {
-    Machine::new(
-        SystemConfig::paper_table2()
-            .with_near_memory(nm.max(1))
-            .with_near_storage(ns.max(1)),
-    )
-}
 
 /// Instance counts swept in Figures 9–11.
 pub const STAGE_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
@@ -49,11 +42,22 @@ pub struct Fig8 {
 /// Runs the fully-on-chip CBIR batch and decomposes its energy.
 #[must_use]
 pub fn fig8() -> Fig8 {
+    fig8_with(&SequentialExecutor)
+}
+
+/// [`fig8`] through an explicit executor.
+#[must_use]
+pub fn fig8_with(executor: &dyn ScenarioExecutor) -> Fig8 {
     let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllOnChip);
-    let report = p.run(&mut machine_with(4, 4), 1);
+    let scenario = CbirScenario::full("fig8/on-chip", blueprint_with(4, 4), p, 1);
+    let mut results = executor.run_all(vec![Box::new(scenario)]);
+    let report = results.remove(0).report;
     let total = report.total_energy_j();
     let shares = [
-        report.ledger.stage_total(CbirStage::FeatureExtraction.label()) / total,
+        report
+            .ledger
+            .stage_total(CbirStage::FeatureExtraction.label())
+            / total,
         report.ledger.stage_total(CbirStage::ShortList.label()) / total,
         report.ledger.stage_total(CbirStage::Rerank.label()) / total,
     ];
@@ -99,32 +103,61 @@ impl fmt::Display for StageScalingRow {
 /// Figure 9–11 instance sweep, normalized to the on-chip accelerator.
 #[must_use]
 pub fn stage_scaling(stage: CbirStage) -> Vec<StageScalingRow> {
-    let w = CbirWorkload::paper_setup();
-    let base = CbirPipeline::new(w, CbirMapping::AllOnChip)
-        .run_stage(&mut machine_with(4, 4), stage, 1);
-    let base_time = base.makespan.as_secs_f64();
-    let base_energy = base.total_energy_j();
+    stage_scaling_with(&SequentialExecutor, stage)
+}
 
-    let mut rows = Vec::new();
+/// [`stage_scaling`] through an explicit executor: every sweep point is an
+/// independent scenario, so a parallel executor runs the whole figure
+/// concurrently.
+#[must_use]
+pub fn stage_scaling_with(
+    executor: &dyn ScenarioExecutor,
+    stage: CbirStage,
+) -> Vec<StageScalingRow> {
+    let w = CbirWorkload::paper_setup();
+    let mut scenarios: Vec<Box<dyn Scenario>> = vec![Box::new(CbirScenario::stage(
+        format!("{}/on-chip/x1", stage.label()),
+        blueprint_with(4, 4),
+        CbirPipeline::new(w, CbirMapping::AllOnChip),
+        stage,
+        1,
+    ))];
+    let mut points = Vec::new();
     for (mapping, level) in [
         (CbirMapping::AllNearMemory, ComputeLevel::NearMemory),
         (CbirMapping::AllNearStorage, ComputeLevel::NearStorage),
     ] {
         for &n in &STAGE_SWEEP {
-            let mut machine = match level {
-                ComputeLevel::NearMemory => machine_with(n, 4),
-                _ => machine_with(4, n),
+            let blueprint = match level {
+                ComputeLevel::NearMemory => blueprint_with(n, 4),
+                _ => blueprint_with(4, n),
             };
-            let r = CbirPipeline::new(w, mapping).run_stage(&mut machine, stage, 1);
-            rows.push(StageScalingRow {
-                level,
-                instances: n,
-                runtime_norm: r.makespan.as_secs_f64() / base_time,
-                energy_norm: r.total_energy_j() / base_energy,
-            });
+            scenarios.push(Box::new(CbirScenario::stage(
+                format!("{}/{level}/x{n}", stage.label()),
+                blueprint,
+                CbirPipeline::new(w, mapping),
+                stage,
+                1,
+            )));
+            points.push((level, n));
         }
     }
-    rows
+
+    let mut results = executor.run_all(scenarios);
+    let base = results.remove(0).report;
+    let base_time = base.makespan.as_secs_f64();
+    let base_energy = base.total_energy_j();
+
+    points
+        .into_iter()
+        .zip(results)
+        .map(|((level, instances), result)| StageScalingRow {
+            level,
+            instances,
+            runtime_norm: result.report.makespan.as_secs_f64() / base_time,
+            energy_norm: result.report.total_energy_j() / base_energy,
+        })
+        .collect()
 }
 
 /// Figure 9: feature extraction scaling.
@@ -133,16 +166,34 @@ pub fn fig9() -> Vec<StageScalingRow> {
     stage_scaling(CbirStage::FeatureExtraction)
 }
 
+/// [`fig9`] through an explicit executor.
+#[must_use]
+pub fn fig9_with(executor: &dyn ScenarioExecutor) -> Vec<StageScalingRow> {
+    stage_scaling_with(executor, CbirStage::FeatureExtraction)
+}
+
 /// Figure 10: short-list retrieval scaling.
 #[must_use]
 pub fn fig10() -> Vec<StageScalingRow> {
     stage_scaling(CbirStage::ShortList)
 }
 
+/// [`fig10`] through an explicit executor.
+#[must_use]
+pub fn fig10_with(executor: &dyn ScenarioExecutor) -> Vec<StageScalingRow> {
+    stage_scaling_with(executor, CbirStage::ShortList)
+}
+
 /// Figure 11: rerank scaling.
 #[must_use]
 pub fn fig11() -> Vec<StageScalingRow> {
     stage_scaling(CbirStage::Rerank)
+}
+
+/// [`fig11`] through an explicit executor.
+#[must_use]
+pub fn fig11_with(executor: &dyn ScenarioExecutor) -> Vec<StageScalingRow> {
+    stage_scaling_with(executor, CbirStage::Rerank)
 }
 
 // ------------------------------------------------------------------ //
@@ -183,10 +234,35 @@ impl fmt::Display for Fig12Row {
 /// Runs the end-to-end pipeline on each single level with 1/2/4 instances.
 #[must_use]
 pub fn fig12() -> Vec<Fig12Row> {
+    fig12_with(&SequentialExecutor)
+}
+
+/// [`fig12`] through an explicit executor.
+#[must_use]
+pub fn fig12_with(executor: &dyn ScenarioExecutor) -> Vec<Fig12Row> {
     let w = CbirWorkload::paper_setup();
-    let base = CbirPipeline::new(w, CbirMapping::AllOnChip).run(&mut machine_with(4, 4), 1);
-    let base_time = base.makespan.as_secs_f64();
-    let base_energy = base.total_energy_j();
+    let mut scenarios: Vec<Box<dyn Scenario>> = vec![Box::new(CbirScenario::full(
+        "fig12/on-chip/x1",
+        blueprint_with(4, 4),
+        CbirPipeline::new(w, CbirMapping::AllOnChip),
+        1,
+    ))];
+    let mut points = Vec::new();
+    for &n in &E2E_SWEEP {
+        for mapping in [CbirMapping::AllNearMemory, CbirMapping::AllNearStorage] {
+            let blueprint = match mapping {
+                CbirMapping::AllNearMemory => blueprint_with(n, 4),
+                _ => blueprint_with(4, n),
+            };
+            scenarios.push(Box::new(CbirScenario::full(
+                format!("fig12/{}/x{n}", mapping.name()),
+                blueprint,
+                CbirPipeline::new(w, mapping),
+                1,
+            )));
+            points.push((mapping, n));
+        }
+    }
 
     let spans = |r: &RunReport| -> [f64; 3] {
         [
@@ -199,6 +275,11 @@ pub fn fig12() -> Vec<Fig12Row> {
         ]
     };
 
+    let mut results = executor.run_all(scenarios);
+    let base = results.remove(0).report;
+    let base_time = base.makespan.as_secs_f64();
+    let base_energy = base.total_energy_j();
+
     let mut rows = vec![Fig12Row {
         mapping: CbirMapping::AllOnChip,
         instances: 1,
@@ -206,22 +287,18 @@ pub fn fig12() -> Vec<Fig12Row> {
         energy_norm: 1.0,
         stage_spans_ms: spans(&base),
     }];
-    for &n in &E2E_SWEEP {
-        for mapping in [CbirMapping::AllNearMemory, CbirMapping::AllNearStorage] {
-            let mut machine = match mapping {
-                CbirMapping::AllNearMemory => machine_with(n, 4),
-                _ => machine_with(4, n),
-            };
-            let r = CbirPipeline::new(w, mapping).run(&mut machine, 1);
-            rows.push(Fig12Row {
+    rows.extend(
+        points
+            .into_iter()
+            .zip(results)
+            .map(|((mapping, n), result)| Fig12Row {
                 mapping,
                 instances: n,
-                runtime_norm: r.makespan.as_secs_f64() / base_time,
-                energy_norm: r.total_energy_j() / base_energy,
-                stage_spans_ms: spans(&r),
-            });
-        }
-    }
+                runtime_norm: result.report.makespan.as_secs_f64() / base_time,
+                energy_norm: result.report.total_energy_j() / base_energy,
+                stage_spans_ms: spans(&result.report),
+            }),
+    );
     rows
 }
 
@@ -268,23 +345,54 @@ pub const FIG13_BATCHES: usize = 16;
 /// paper's "GAM assigns tasks from the next job … without waiting".
 #[must_use]
 pub fn fig13() -> Vec<Fig13Row> {
+    fig13_with(&SequentialExecutor)
+}
+
+/// [`fig13`] through an explicit executor: each mapping contributes a
+/// steady-state scenario and a single-batch scenario, all independent.
+#[must_use]
+pub fn fig13_with(executor: &dyn ScenarioExecutor) -> Vec<Fig13Row> {
     let w = CbirWorkload::paper_setup();
-    let run_pair = |mapping: CbirMapping| {
-        let p = CbirPipeline::new(w, mapping);
-        let steady = if mapping == CbirMapping::AllOnChip {
-            p.run_sequential(&mut machine_with(4, 4), FIG13_BATCHES)
-        } else {
-            p.run(&mut machine_with(4, 4), FIG13_BATCHES)
-        };
-        let single = p.run(&mut machine_with(4, 4), 1);
-        (steady, single)
-    };
-    let (base_steady, base_single) = run_pair(CbirMapping::AllOnChip);
+    let scenarios: Vec<Box<dyn Scenario>> = CbirMapping::ALL
+        .iter()
+        .flat_map(|&mapping| {
+            let p = CbirPipeline::new(w, mapping);
+            let steady: Box<dyn Scenario> = if mapping == CbirMapping::AllOnChip {
+                Box::new(CbirScenario::synchronous(
+                    format!("fig13/{}/steady", mapping.name()),
+                    blueprint_with(4, 4),
+                    p,
+                    FIG13_BATCHES,
+                ))
+            } else {
+                Box::new(CbirScenario::full(
+                    format!("fig13/{}/steady", mapping.name()),
+                    blueprint_with(4, 4),
+                    p,
+                    FIG13_BATCHES,
+                ))
+            };
+            let single: Box<dyn Scenario> = Box::new(CbirScenario::full(
+                format!("fig13/{}/single", mapping.name()),
+                blueprint_with(4, 4),
+                p,
+                1,
+            ));
+            [steady, single]
+        })
+        .collect();
+
+    let results = executor.run_all(scenarios);
+    let pairs: Vec<(&RunReport, &RunReport)> = results
+        .chunks(2)
+        .map(|pair| (&pair[0].report, &pair[1].report))
+        .collect();
+    let (base_steady, base_single) = pairs[0];
 
     CbirMapping::ALL
         .iter()
-        .map(|&mapping| {
-            let (steady, single) = run_pair(mapping);
+        .zip(&pairs)
+        .map(|(&mapping, &(steady, single))| {
             let energy_by_component = reach::SystemComponent::ALL
                 .iter()
                 .map(|&c| (c, single.ledger.component_total(c)))
@@ -358,8 +466,10 @@ pub fn recall_vs_compression() -> Vec<RecallCompressionRow> {
     });
 
     // Product quantization at two compression points.
-    for (subs, cents, label) in [(8usize, 64usize, "PQ 8x8b (16x smaller)"),
-                                  (4, 16, "PQ 4x4b (32x smaller)")] {
+    for (subs, cents, label) in [
+        (8usize, 64usize, "PQ 8x8b (16x smaller)"),
+        (4, 16, "PQ 4x4b (32x smaller)"),
+    ] {
         let pq = ProductQuantizer::train(&ds.points, subs, cents, &mut rng);
         let codes = pq.encode_batch(&ds.points);
         let results: Vec<Vec<usize>> = (0..queries.rows())
@@ -482,11 +592,21 @@ mod tests {
     #[test]
     fn fig9_shapes() {
         let rows = fig9();
-        let nm1 = rows.iter().find(|r| r.level == ComputeLevel::NearMemory && r.instances == 1).unwrap();
+        let nm1 = rows
+            .iter()
+            .find(|r| r.level == ComputeLevel::NearMemory && r.instances == 1)
+            .unwrap();
         // Single embedded instance 7-10x slower than on-chip.
-        assert!(nm1.runtime_norm > 7.0 && nm1.runtime_norm < 11.0, "NM1 {}", nm1.runtime_norm);
+        assert!(
+            nm1.runtime_norm > 7.0 && nm1.runtime_norm < 11.0,
+            "NM1 {}",
+            nm1.runtime_norm
+        );
         // 16 instances collectively surpass the on-chip accelerator.
-        let nm16 = rows.iter().find(|r| r.level == ComputeLevel::NearMemory && r.instances == 16).unwrap();
+        let nm16 = rows
+            .iter()
+            .find(|r| r.level == ComputeLevel::NearMemory && r.instances == 16)
+            .unwrap();
         assert!(nm16.runtime_norm < 1.0, "NM16 {}", nm16.runtime_norm);
         // On-chip has the best energy: every embedded bar >= 1.
         for r in &rows {
@@ -507,8 +627,16 @@ mod tests {
         assert!(nm(2).runtime_norm < 1.0, "NM2 {}", nm(2).runtime_norm);
         assert!(nm(4).runtime_norm < nm(2).runtime_norm);
         // Near-storage is slower than near-memory at equal instance count.
-        let ns1 = rows.iter().find(|r| r.level == ComputeLevel::NearStorage && r.instances == 1).unwrap();
-        assert!(ns1.runtime_norm > nm(1).runtime_norm, "NS1 {} vs NM1 {}", ns1.runtime_norm, nm(1).runtime_norm);
+        let ns1 = rows
+            .iter()
+            .find(|r| r.level == ComputeLevel::NearStorage && r.instances == 1)
+            .unwrap();
+        assert!(
+            ns1.runtime_norm > nm(1).runtime_norm,
+            "NS1 {} vs NM1 {}",
+            ns1.runtime_norm,
+            nm(1).runtime_norm
+        );
     }
 
     #[test]
@@ -538,7 +666,10 @@ mod tests {
     #[test]
     fn fig13_headline_numbers() {
         let rows = fig13();
-        let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+        let reach = rows
+            .iter()
+            .find(|r| r.mapping == CbirMapping::Proper)
+            .unwrap();
         // Paper: 4.5x throughput, 2.2x latency, 52% energy reduction.
         // DESIGN.md bands: [3.5, 5.5]x, [1.8, 2.8]x, [45, 60]%.
         assert!(
@@ -551,7 +682,10 @@ mod tests {
             "latency {:.2}",
             reach.latency_gain
         );
-        let base = rows.iter().find(|r| r.mapping == CbirMapping::AllOnChip).unwrap();
+        let base = rows
+            .iter()
+            .find(|r| r.mapping == CbirMapping::AllOnChip)
+            .unwrap();
         let reduction = 1.0 - reach.energy_total / base.energy_total;
         assert!(
             reduction > 0.45 && reduction < 0.60,

@@ -42,7 +42,10 @@ impl FeatureNet {
     /// Panics on zero dimensions.
     #[must_use]
     pub fn new(input_dim: usize, output_dim: usize, hidden: usize, seed: u64) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "FeatureNet: zero dimension");
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "FeatureNet: zero dimension"
+        );
         let mut rng = derived(seed, "feature-net");
         let mut dims = vec![input_dim];
         dims.extend(std::iter::repeat_n(output_dim.max(input_dim / 2), hidden));
@@ -80,7 +83,11 @@ impl FeatureNet {
     /// Panics if `input` has the wrong length.
     #[must_use]
     pub fn extract(&self, input: &[f32]) -> Vec<f32> {
-        assert_eq!(input.len(), self.input_dim(), "FeatureNet::extract: bad input size");
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "FeatureNet::extract: bad input size"
+        );
         let mut x = input.to_vec();
         let last = self.weights.len() - 1;
         for (li, w) in self.weights.iter().enumerate() {
@@ -174,8 +181,11 @@ mod tests {
         // Table I sanity: compressed parameters fit in on-chip SRAM budgets,
         // uncompressed do not. (Evaluated through variables so the checks
         // survive constant edits.)
-        let (compressed, full, macs) =
-            (VGG16_COMPRESSED_PARAM_BYTES, VGG16_PARAM_BYTES, VGG16_MACS_PER_IMAGE);
+        let (compressed, full, macs) = (
+            VGG16_COMPRESSED_PARAM_BYTES,
+            VGG16_PARAM_BYTES,
+            VGG16_MACS_PER_IMAGE,
+        );
         assert!(compressed < 32 << 20);
         assert!(full > 500_000_000);
         assert_eq!(macs, 7_750_000_000);

@@ -99,7 +99,12 @@ impl IvfIndex {
         (0..queries.rows())
             .map(|qi| {
                 top_k(
-                    dists.row(qi).iter().copied().enumerate().map(|(c, d)| (d, c)),
+                    dists
+                        .row(qi)
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .map(|(c, d)| (d, c)),
                     nprobe,
                 )
                 .into_iter()
@@ -198,7 +203,11 @@ mod tests {
         // Probing every cluster must be exact.
         let got = index.search(&ds.points, &queries, index.clusters(), 10, None);
         let r = recall(&got, &truth, 10);
-        assert!((r.recall_at_k - 1.0).abs() < 1e-12, "recall {}", r.recall_at_k);
+        assert!(
+            (r.recall_at_k - 1.0).abs() < 1e-12,
+            "recall {}",
+            r.recall_at_k
+        );
     }
 
     #[test]
@@ -206,7 +215,11 @@ mod tests {
         let (ds, index, queries, truth) = setup();
         let got = index.search(&ds.points, &queries, 4, 10, None);
         let r = recall(&got, &truth, 10);
-        assert!(r.recall_at_k > 0.9, "recall@10 {} with nprobe=4", r.recall_at_k);
+        assert!(
+            r.recall_at_k > 0.9,
+            "recall@10 {} with nprobe=4",
+            r.recall_at_k
+        );
     }
 
     #[test]
@@ -242,7 +255,10 @@ mod tests {
                 .iter()
                 .map(|&c| crate::linalg::dist_sq(queries.row(qi), index.centroids().row(c)))
                 .collect();
-            assert!(d.windows(2).all(|w| w[0] <= w[1]), "unsorted short list {d:?}");
+            assert!(
+                d.windows(2).all(|w| w[0] <= w[1]),
+                "unsorted short list {d:?}"
+            );
         }
     }
 }

@@ -121,7 +121,11 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut impl Rng) -
                 continue;
             }
             let inv = 1.0 / counts[c] as f64;
-            for (dst, s) in centroids.row_mut(c).iter_mut().zip(&sums[c * d..(c + 1) * d]) {
+            for (dst, s) in centroids
+                .row_mut(c)
+                .iter_mut()
+                .zip(&sums[c * d..(c + 1) * d])
+            {
                 *dst = (s * inv) as f32;
             }
         }

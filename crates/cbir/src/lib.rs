@@ -34,6 +34,7 @@ pub mod linalg;
 pub mod pca;
 pub mod pipeline;
 pub mod pq;
+pub mod scenarios;
 pub mod topk;
 pub mod workload;
 
@@ -44,5 +45,6 @@ pub use ivf::IvfIndex;
 pub use pca::Pca;
 pub use pipeline::{CbirMapping, CbirPipeline};
 pub use pq::ProductQuantizer;
+pub use scenarios::{blueprint_with, CbirScenario};
 pub use topk::top_k;
 pub use workload::CbirWorkload;

@@ -95,7 +95,11 @@ impl Matrix {
 /// Panics if the inner dimensions disagree.
 #[must_use]
 pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols, b.cols, "gemm_nt: inner dimensions {} vs {}", a.cols, b.cols);
+    assert_eq!(
+        a.cols, b.cols,
+        "gemm_nt: inner dimensions {} vs {}",
+        a.cols, b.cols
+    );
     let mut c = Matrix::zeros(a.rows, b.rows);
     const BLOCK: usize = 32;
     for i0 in (0..a.rows).step_by(BLOCK) {
@@ -150,7 +154,9 @@ pub fn dist_sq(p: &[f32], q: &[f32]) -> f32 {
 #[allow(clippy::needless_range_loop)] // rows of three matrices walked in lockstep
 pub fn batch_dist_sq(queries: &Matrix, points: &Matrix) -> Matrix {
     let dots = gemm_nt(queries, points);
-    let q_norms: Vec<f32> = (0..queries.rows()).map(|i| norm_sq(queries.row(i))).collect();
+    let q_norms: Vec<f32> = (0..queries.rows())
+        .map(|i| norm_sq(queries.row(i)))
+        .collect();
     // ||c||^2 is precomputed once and reused for every query, exactly as the
     // paper stores it alongside the centroids.
     let p_norms: Vec<f32> = (0..points.rows()).map(|j| norm_sq(points.row(j))).collect();

@@ -108,7 +108,10 @@ impl Pca {
                         w[a * k + j] -= dot * w[a * k + p];
                     }
                 }
-                let norm: f64 = (0..d).map(|a| w[a * k + j] * w[a * k + j]).sum::<f64>().sqrt();
+                let norm: f64 = (0..d)
+                    .map(|a| w[a * k + j] * w[a * k + j])
+                    .sum::<f64>()
+                    .sqrt();
                 if norm > 1e-12 {
                     for a in 0..d {
                         w[a * k + j] /= norm;
@@ -183,7 +186,11 @@ impl Pca {
     #[must_use]
     #[allow(clippy::needless_range_loop)] // components and output walked in lockstep
     pub fn inverse_transform(&self, y: &[f32]) -> Vec<f32> {
-        assert_eq!(y.len(), self.output_dim(), "Pca::inverse_transform: bad size");
+        assert_eq!(
+            y.len(),
+            self.output_dim(),
+            "Pca::inverse_transform: bad size"
+        );
         let d = self.input_dim();
         let mut x = self.mean.clone();
         for j in 0..self.output_dim() {

@@ -10,7 +10,7 @@
 //! paper's portability claim, executed.
 
 use crate::workload::CbirWorkload;
-use reach::{Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, TaskWork};
+use reach::{ExecMode, Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, TaskWork};
 
 /// Raw bytes of one 224x224 RGB query image shipped from the host.
 pub const IMAGE_BYTES: u64 = 224 * 224 * 3;
@@ -201,15 +201,16 @@ impl CbirPipeline {
             .then(|| cfg.create_fixed_buffer("feature_db", Level::NearStor, w.rerank_bytes()));
 
         // Inter-stage streams.
-        let features = (has(CbirStage::FeatureExtraction) && has(CbirStage::ShortList)).then(|| {
-            cfg.create_stream(
-                fe_level,
-                sl_level,
-                StreamType::Broadcast,
-                w.feature_batch_bytes(),
-                2,
-            )
-        });
+        let features =
+            (has(CbirStage::FeatureExtraction) && has(CbirStage::ShortList)).then(|| {
+                cfg.create_stream(
+                    fe_level,
+                    sl_level,
+                    StreamType::Broadcast,
+                    w.feature_batch_bytes(),
+                    2,
+                )
+            });
         let shortlists = (has(CbirStage::ShortList) && has(CbirStage::Rerank)).then(|| {
             cfg.create_stream(
                 sl_level,
@@ -220,7 +221,13 @@ impl CbirPipeline {
             )
         });
         let result = has(CbirStage::Rerank).then(|| {
-            cfg.create_stream(rr_level, Level::Cpu, StreamType::Collect, w.result_bytes(), 2)
+            cfg.create_stream(
+                rr_level,
+                Level::Cpu,
+                StreamType::Collect,
+                w.result_bytes(),
+                2,
+            )
         });
 
         // ---- Accelerators + host flow (config.h registration + host.cpp) ----
@@ -317,7 +324,11 @@ impl CbirPipeline {
             let n = Self::instances(machine, rr_level);
             assert!(n > 0, "no accelerators at {rr_level}");
             let template = template_for(CbirStage::Rerank, rr_level);
-            let shards = if rr_level == Level::OnChip { 1 } else { n as u64 };
+            let shards = if rr_level == Level::OnChip {
+                1
+            } else {
+                n as u64
+            };
             for i in 0..shards {
                 let acc = cfg.register_acc(template, rr_level);
                 if let Some(s) = shortlists {
@@ -347,28 +358,30 @@ impl CbirPipeline {
         pipeline
     }
 
+    /// Builds and runs the full pipeline for `batches` batches in the
+    /// given [`ExecMode`].
+    #[must_use]
+    pub fn run_mode(&self, machine: &mut Machine, batches: usize, mode: ExecMode) -> RunReport {
+        self.build(machine).run_mode(machine, batches, mode)
+    }
+
     /// Builds and runs the full pipeline for `batches` batches with GAM
     /// cross-batch pipelining.
     #[must_use]
     pub fn run(&self, machine: &mut Machine, batches: usize) -> RunReport {
-        self.build(machine).run(machine, batches)
+        self.run_mode(machine, batches, ExecMode::Pipelined)
     }
 
     /// Builds and runs synchronously (one batch at a time) — the
     /// conventional host-driven baseline flow.
     #[must_use]
     pub fn run_sequential(&self, machine: &mut Machine, batches: usize) -> RunReport {
-        self.build(machine).run_sequential(machine, batches)
+        self.run_mode(machine, batches, ExecMode::Sequential)
     }
 
     /// Builds and runs a single stage for `batches` batches (Figures 9–11).
     #[must_use]
-    pub fn run_stage(
-        &self,
-        machine: &mut Machine,
-        stage: CbirStage,
-        batches: usize,
-    ) -> RunReport {
+    pub fn run_stage(&self, machine: &mut Machine, stage: CbirStage, batches: usize) -> RunReport {
         self.build_stages(machine, &[stage]).run(machine, batches)
     }
 }
@@ -376,10 +389,10 @@ impl CbirPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reach::SystemConfig;
+    use reach::MachineBlueprint;
 
     fn machine() -> Machine {
-        Machine::new(SystemConfig::paper_table2())
+        MachineBlueprint::paper().instantiate()
     }
 
     #[test]
@@ -430,8 +443,11 @@ mod tests {
     fn single_stage_pipelines_run() {
         let w = CbirWorkload::paper_setup();
         for stage in CbirStage::ALL {
-            let r = CbirPipeline::new(w, CbirMapping::AllNearMemory)
-                .run_stage(&mut machine(), stage, 1);
+            let r = CbirPipeline::new(w, CbirMapping::AllNearMemory).run_stage(
+                &mut machine(),
+                stage,
+                1,
+            );
             assert_eq!(r.jobs, 1);
             assert_eq!(r.stages.len(), 1);
         }

@@ -48,12 +48,7 @@ impl ProductQuantizer {
     /// Panics if the dimensionality is not divisible by `subspaces`, or if
     /// `centroids` exceeds the training-set size or 256 (codes are `u8`).
     #[must_use]
-    pub fn train(
-        data: &Matrix,
-        subspaces: usize,
-        centroids: usize,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn train(data: &Matrix, subspaces: usize, centroids: usize, rng: &mut impl Rng) -> Self {
         let d = data.cols();
         assert!(
             subspaces > 0 && d.is_multiple_of(subspaces),
@@ -219,7 +214,10 @@ mod tests {
         let table = pq.distance_table(queries.row(0));
         let adc = ProductQuantizer::adc_distance(&table, &code);
         let direct = crate::linalg::dist_sq(queries.row(0), &pq.decode(&code));
-        assert!((adc - direct).abs() < 1e-2 * direct.max(1.0), "{adc} vs {direct}");
+        assert!(
+            (adc - direct).abs() < 1e-2 * direct.max(1.0),
+            "{adc} vs {direct}"
+        );
     }
 
     #[test]
@@ -244,7 +242,10 @@ mod tests {
             exact_recall > pq_recall + 0.1,
             "exact {exact_recall:.3} should clearly beat 32x-PQ {pq_recall:.3}"
         );
-        assert!(exact_recall > 0.9, "exact pipeline recall {exact_recall:.3}");
+        assert!(
+            exact_recall > 0.9,
+            "exact pipeline recall {exact_recall:.3}"
+        );
     }
 
     #[test]
@@ -261,7 +262,10 @@ mod tests {
         };
         let coarse = r(4);
         let fine = r(64);
-        assert!(fine > coarse, "recall should grow with codebook size: {coarse} -> {fine}");
+        assert!(
+            fine > coarse,
+            "recall should grow with codebook size: {coarse} -> {fine}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! CBIR experiment points as [`Scenario`]s.
+//!
+//! Every figure point, ablation point and sweep point in this crate is a
+//! [`CbirScenario`]: a machine blueprint, a [`CbirPipeline`] deployment,
+//! a batch count and an execution mode. The experiment functions in
+//! [`crate::experiments`] and [`crate::ablations`] build batches of these
+//! and hand them to a [`reach::ScenarioExecutor`] — the sequential one by
+//! default, or `reach-bench`'s thread-parallel `ScenarioRunner`, which by
+//! contract produces byte-identical results.
+
+use crate::pipeline::{CbirPipeline, CbirStage};
+use reach::{ExecMode, Machine, MachineBlueprint, RunReport, Scenario, SystemConfig};
+
+/// Blueprint for `mapping`-style runs with the given number of
+/// near-memory / near-storage instances (the paper's Table II shape
+/// otherwise).
+#[must_use]
+pub fn blueprint_with(nm: usize, ns: usize) -> MachineBlueprint {
+    MachineBlueprint::new(
+        SystemConfig::paper_table2()
+            .with_near_memory(nm.max(1))
+            .with_near_storage(ns.max(1)),
+    )
+}
+
+/// One CBIR simulation point: which machine, which deployment, how many
+/// batches, which execution mode, optionally restricted to one stage.
+#[derive(Clone, Debug)]
+pub struct CbirScenario {
+    label: String,
+    blueprint: MachineBlueprint,
+    pipeline: CbirPipeline,
+    stage: Option<CbirStage>,
+    batches: usize,
+    mode: ExecMode,
+}
+
+impl CbirScenario {
+    /// A full-pipeline point with GAM cross-batch pipelining.
+    #[must_use]
+    pub fn full(
+        label: impl Into<String>,
+        blueprint: MachineBlueprint,
+        pipeline: CbirPipeline,
+        batches: usize,
+    ) -> Self {
+        CbirScenario {
+            label: label.into(),
+            blueprint,
+            pipeline,
+            stage: None,
+            batches,
+            mode: ExecMode::Pipelined,
+        }
+    }
+
+    /// A full-pipeline point run synchronously (the conventional
+    /// host-driven baseline flow).
+    #[must_use]
+    pub fn synchronous(
+        label: impl Into<String>,
+        blueprint: MachineBlueprint,
+        pipeline: CbirPipeline,
+        batches: usize,
+    ) -> Self {
+        CbirScenario {
+            mode: ExecMode::Sequential,
+            ..Self::full(label, blueprint, pipeline, batches)
+        }
+    }
+
+    /// A single-stage point (Figures 9–11).
+    #[must_use]
+    pub fn stage(
+        label: impl Into<String>,
+        blueprint: MachineBlueprint,
+        pipeline: CbirPipeline,
+        stage: CbirStage,
+        batches: usize,
+    ) -> Self {
+        CbirScenario {
+            stage: Some(stage),
+            ..Self::full(label, blueprint, pipeline, batches)
+        }
+    }
+
+    /// The deployment this point runs.
+    #[must_use]
+    pub fn pipeline(&self) -> &CbirPipeline {
+        &self.pipeline
+    }
+}
+
+impl Scenario for CbirScenario {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn blueprint(&self) -> MachineBlueprint {
+        self.blueprint.clone()
+    }
+
+    fn run(&self, machine: &mut Machine) -> RunReport {
+        let compiled = match self.stage {
+            Some(stage) => self.pipeline.build_stages(machine, &[stage]),
+            None => self.pipeline.build(machine),
+        };
+        compiled.run_mode(machine, self.batches, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CbirMapping;
+    use crate::workload::CbirWorkload;
+    use reach::scenario::{ScenarioExecutor, SequentialExecutor};
+
+    #[test]
+    fn scenario_matches_direct_run() {
+        let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
+        let scenario = CbirScenario::full("proper/x2", blueprint_with(4, 4), p, 2);
+        let via_scenario = scenario.execute();
+        let direct = p.run(&mut blueprint_with(4, 4).instantiate(), 2);
+        assert_eq!(via_scenario.makespan, direct.makespan);
+        assert_eq!(via_scenario.jobs, direct.jobs);
+    }
+
+    #[test]
+    fn executor_runs_mixed_batch_in_order() {
+        let w = CbirWorkload::paper_setup();
+        let batch: Vec<Box<dyn Scenario>> = vec![
+            Box::new(CbirScenario::synchronous(
+                "onchip/sync",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::AllOnChip),
+                2,
+            )),
+            Box::new(CbirScenario::stage(
+                "nm/fe",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::AllNearMemory),
+                CbirStage::FeatureExtraction,
+                1,
+            )),
+        ];
+        let results = SequentialExecutor.run_all(batch);
+        assert_eq!(results[0].label, "onchip/sync");
+        assert_eq!(results[1].label, "nm/fe");
+        assert_eq!(results[1].report.stages.len(), 1);
+    }
+}

@@ -52,6 +52,18 @@ use reach_sim::SimDuration;
 use std::collections::HashMap;
 use std::fmt;
 
+/// How a [`Pipeline`] feeds batches to the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// All batches are enqueued up front; the GAM pipelines across batches
+    /// wherever dependencies allow. This is the ReACH execution model.
+    Pipelined,
+    /// Each batch completes before the next is submitted — the
+    /// conventional host-driven accelerator flow, used as the paper's
+    /// on-chip baseline.
+    Sequential,
+}
+
 /// Where a buffer or stream endpoint lives (Listing 1's `enum Level`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Level {
@@ -185,7 +197,10 @@ impl ReachConfig {
     ///
     /// Panics if `level` is [`Level::Cpu`] — the CPU is not an accelerator.
     pub fn register_acc(&mut self, template: &str, level: Level) -> Acc {
-        assert!(level != Level::Cpu, "register_acc: CPU is not an accelerator level");
+        assert!(
+            level != Level::Cpu,
+            "register_acc: CPU is not an accelerator level"
+        );
         self.accs.push(AccEntry {
             template: template.to_string(),
             level,
@@ -303,7 +318,10 @@ impl Pipeline {
     ///
     /// Panics if the handle is stale.
     pub fn call(&mut self, acc: Acc, work: TaskWork, stage: &str) -> &mut Self {
-        assert!(acc.0 < self.config.acc_count(), "Pipeline::call: stale handle");
+        assert!(
+            acc.0 < self.config.acc_count(),
+            "Pipeline::call: stale handle"
+        );
         self.calls.push(Call {
             acc,
             work,
@@ -318,44 +336,52 @@ impl Pipeline {
         &self.config
     }
 
-    /// Runs `batches` batches through `machine` and reports.
+    /// Runs `batches` batches through `machine` in the given [`ExecMode`]
+    /// and reports.
     ///
-    /// All batches are enqueued up front; the GAM pipelines across batches
-    /// wherever dependencies allow, so throughput reflects the longest
-    /// stage rather than the sum of stages.
+    /// Under [`ExecMode::Pipelined`] all batches are enqueued up front and
+    /// the GAM pipelines across batches wherever dependencies allow, so
+    /// throughput reflects the longest stage rather than the sum of
+    /// stages. Under [`ExecMode::Sequential`] each batch completes before
+    /// the next is submitted and the last batch's report is returned.
     ///
     /// # Panics
     ///
     /// Panics if the pipeline is empty, a template cannot be resolved, or
     /// `batches` is zero.
-    pub fn run(&self, machine: &mut Machine, batches: usize) -> RunReport {
-        assert!(batches > 0, "Pipeline::run: zero batches");
-        assert!(!self.calls.is_empty(), "Pipeline::run: empty pipeline");
-        for batch in 0..batches {
-            let (job, works) = self.build_job(machine, batch as u64);
-            machine.submit(job, works);
-        }
-        machine.run()
-    }
-
-    /// Runs `batches` batches *synchronously*: each batch completes before
-    /// the next is submitted. This is the conventional host-driven
-    /// accelerator flow — no GAM cross-job pipelining — used as the paper's
-    /// on-chip baseline.
-    ///
-    /// # Panics
-    ///
-    /// Same conditions as [`Pipeline::run`].
-    pub fn run_sequential(&self, machine: &mut Machine, batches: usize) -> RunReport {
-        assert!(batches > 0, "Pipeline::run_sequential: zero batches");
-        assert!(!self.calls.is_empty(), "Pipeline::run_sequential: empty pipeline");
+    pub fn run_mode(&self, machine: &mut Machine, batches: usize, mode: ExecMode) -> RunReport {
+        assert!(batches > 0, "Pipeline::run_mode: zero batches");
+        assert!(!self.calls.is_empty(), "Pipeline::run_mode: empty pipeline");
         let mut report = None;
         for batch in 0..batches {
             let (job, works) = self.build_job(machine, batch as u64);
             machine.submit(job, works);
-            report = Some(machine.run());
+            if mode == ExecMode::Sequential {
+                report = Some(machine.run());
+            }
         }
-        report.expect("at least one batch ran")
+        match mode {
+            ExecMode::Pipelined => machine.run(),
+            ExecMode::Sequential => report.expect("at least one batch ran"),
+        }
+    }
+
+    /// Runs `batches` batches in [`ExecMode::Pipelined`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pipeline::run_mode`].
+    pub fn run(&self, machine: &mut Machine, batches: usize) -> RunReport {
+        self.run_mode(machine, batches, ExecMode::Pipelined)
+    }
+
+    /// Runs `batches` batches in [`ExecMode::Sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Pipeline::run_mode`].
+    pub fn run_sequential(&self, machine: &mut Machine, batches: usize) -> RunReport {
+        self.run_mode(machine, batches, ExecMode::Sequential)
     }
 
     /// Builds the GAM job and work descriptors for one batch without
@@ -371,7 +397,11 @@ impl Pipeline {
     }
 
     /// Builds the GAM job for one batch.
-    fn build_job(&self, machine: &Machine, batch: u64) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
+    fn build_job(
+        &self,
+        machine: &Machine,
+        batch: u64,
+    ) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
         let mut b = JobBuilder::new(batch);
         let mut works = HashMap::new();
 
@@ -429,7 +459,9 @@ impl Pipeline {
             let kernel = machine
                 .registry()
                 .resolve(&acc.template, level)
-                .unwrap_or_else(|| panic!("Pipeline: unknown template {} at {level}", acc.template));
+                .unwrap_or_else(|| {
+                    panic!("Pipeline: unknown template {} at {level}", acc.template)
+                });
 
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
@@ -439,13 +471,9 @@ impl Pipeline {
                     Arg::Buffer(fb) => inputs.push(fixed[fb.0]),
                     Arg::Stream(s) => {
                         let entry = &self.config.streams[s.0];
-                        let is_producer = producer
-                            .get(&s.0)
-                            .is_some_and(|v| v.contains(&ci));
+                        let is_producer = producer.get(&s.0).is_some_and(|v| v.contains(&ci));
                         let same_level = entry.src == entry.dst;
-                        if (same_level && is_producer)
-                            || (!same_level && entry.src == acc.level)
-                        {
+                        if (same_level && is_producer) || (!same_level && entry.src == acc.level) {
                             outputs.push(streams[s.0]);
                         } else {
                             inputs.push(streams[s.0]);
@@ -463,12 +491,19 @@ impl Pipeline {
             // report" estimate the GAM progress table uses for polls).
             let mut est = kernel.compute_time(call.work.macs);
             if let Some(rate) = kernel.io_rate_bytes_per_sec() {
-                let data =
-                    SimDuration::from_secs_f64(call.work.access.bytes() as f64 / rate);
+                let data = SimDuration::from_secs_f64(call.work.access.bytes() as f64 / rate);
                 est = est.max(data);
             }
 
-            let id = b.task(&call.stage, &acc.template, level, est, inputs, outputs, deps);
+            let id = b.task(
+                &call.stage,
+                &acc.template,
+                level,
+                est,
+                inputs,
+                outputs,
+                deps,
+            );
             works.insert(id, call.work.clone());
             task_ids.push(id);
         }
@@ -483,7 +518,13 @@ mod tests {
 
     fn simple_pipeline() -> Pipeline {
         let mut cfg = ReachConfig::new();
-        let feats = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 6144, 2);
+        let feats = cfg.create_stream(
+            Level::OnChip,
+            Level::NearStor,
+            StreamType::Broadcast,
+            6144,
+            2,
+        );
         let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
         cfg.set_arg(cnn, 0, feats);
         let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
@@ -504,7 +545,10 @@ mod tests {
         // The rerank stage cannot start before feature extraction ends.
         let fe = report.stage("fe").unwrap().window.1;
         let rr = report.stage("rr").unwrap().window.0;
-        assert!(rr >= fe, "dependency violated: rr {rr:?} before fe end {fe:?}");
+        assert!(
+            rr >= fe,
+            "dependency violated: rr {rr:?} before fe end {fe:?}"
+        );
     }
 
     #[test]
@@ -514,8 +558,7 @@ mod tests {
         let mut m8 = Machine::new(SystemConfig::paper_table2());
         let eight = simple_pipeline().run(&mut m8, 8);
         // Eight batches must take far less than eight times one batch.
-        let speedup =
-            8.0 * one.makespan.as_secs_f64() / eight.makespan.as_secs_f64();
+        let speedup = 8.0 * one.makespan.as_secs_f64() / eight.makespan.as_secs_f64();
         assert!(speedup > 1.5, "no cross-batch pipelining: {speedup}");
     }
 

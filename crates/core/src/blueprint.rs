@@ -1,0 +1,157 @@
+//! Immutable machine blueprints.
+//!
+//! A [`MachineBlueprint`] captures everything needed to build a
+//! [`Machine`] — the [`SystemConfig`], the kernel [`TemplateRegistry`] and
+//! the [`EnergyPresets`] — as a cheap-to-clone value. Experiments describe
+//! the machine once and call [`MachineBlueprint::instantiate`] per run,
+//! which is what makes fan-out across threads safe: each run owns a fresh
+//! `Machine`, while the blueprint (and the `Arc`-shared registry inside
+//! it) is shared read-only.
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use reach_accel::TemplateRegistry;
+use reach_energy::EnergyPresets;
+use std::sync::Arc;
+
+/// An immutable recipe for building [`Machine`]s.
+///
+/// ```
+/// use reach::{MachineBlueprint, SystemConfig};
+///
+/// let blueprint = MachineBlueprint::new(SystemConfig::paper_table2());
+/// let a = blueprint.instantiate();
+/// let b = blueprint.instantiate(); // independent machine, same shape
+/// assert_eq!(a.config().onchip_accelerators, b.config().onchip_accelerators);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineBlueprint {
+    cfg: SystemConfig,
+    registry: Arc<TemplateRegistry>,
+    presets: EnergyPresets,
+}
+
+impl MachineBlueprint {
+    /// A blueprint with the paper's Table III template registry and
+    /// Table IV energy presets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (see
+    /// [`SystemConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SystemConfig) -> Self {
+        Self::with_registry(cfg, TemplateRegistry::paper_table3())
+    }
+
+    /// The paper's Table II machine with default registry and presets.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(SystemConfig::paper_table2())
+    }
+
+    /// A blueprint with a custom template registry (for user kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate.
+    #[must_use]
+    pub fn with_registry(cfg: SystemConfig, registry: TemplateRegistry) -> Self {
+        Self::with_shared_registry(cfg, Arc::new(registry))
+    }
+
+    /// A blueprint sharing an already-`Arc`'d registry (avoids cloning the
+    /// template table when many blueprints differ only in config).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate.
+    #[must_use]
+    pub fn with_shared_registry(cfg: SystemConfig, registry: Arc<TemplateRegistry>) -> Self {
+        cfg.validate();
+        MachineBlueprint {
+            cfg,
+            registry,
+            presets: EnergyPresets::paper_table4(),
+        }
+    }
+
+    /// A copy with the configuration adjusted by `adjust` — the idiom for
+    /// ablation sweeps that vary one knob around a base blueprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adjusted configuration is degenerate.
+    #[must_use]
+    pub fn map_config(&self, adjust: impl FnOnce(&mut SystemConfig)) -> Self {
+        let mut next = self.clone();
+        adjust(&mut next.cfg);
+        next.cfg.validate();
+        next
+    }
+
+    /// A copy with different energy presets.
+    #[must_use]
+    pub fn with_presets(mut self, presets: EnergyPresets) -> Self {
+        self.presets = presets;
+        self
+    }
+
+    /// The machine configuration this blueprint builds.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The template registry this blueprint builds with.
+    #[must_use]
+    pub fn registry(&self) -> &TemplateRegistry {
+        &self.registry
+    }
+
+    /// Builds a fresh machine. Every call returns an independent runtime;
+    /// the blueprint itself is never consumed or mutated.
+    #[must_use]
+    pub fn instantiate(&self) -> Machine {
+        Machine::assemble(self.cfg.clone(), Arc::clone(&self.registry), self.presets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiations_are_independent() {
+        let bp = MachineBlueprint::paper();
+        let mut a = bp.instantiate();
+        let b = bp.instantiate();
+        a.enable_trace();
+        // `b` and the blueprint are unaffected by mutating `a`.
+        assert_eq!(
+            b.config().onchip_accelerators,
+            bp.config().onchip_accelerators
+        );
+    }
+
+    #[test]
+    fn map_config_leaves_base_untouched() {
+        let base = MachineBlueprint::paper();
+        let wide = base.map_config(|cfg| cfg.near_memory_accelerators = 16);
+        assert_eq!(wide.config().near_memory_accelerators, 16);
+        assert_ne!(
+            base.config().near_memory_accelerators,
+            wide.config().near_memory_accelerators
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_config_rejected() {
+        let _ = MachineBlueprint::paper().map_config(|cfg| {
+            cfg.onchip_accelerators = 0;
+            cfg.near_memory_accelerators = 0;
+            cfg.near_storage_accelerators = 0;
+        });
+    }
+}

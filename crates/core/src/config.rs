@@ -174,7 +174,8 @@ impl SystemConfig {
     /// efficiency, …).
     pub fn validate(&self) {
         assert!(
-            self.onchip_accelerators + self.near_memory_accelerators
+            self.onchip_accelerators
+                + self.near_memory_accelerators
                 + self.near_storage_accelerators
                 > 0,
             "SystemConfig: no accelerators configured"

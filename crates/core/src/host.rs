@@ -153,7 +153,11 @@ pub struct QueryLatencyReport {
 /// Panics if `batches` is empty or job completions cannot be matched to
 /// batches (internal error).
 #[must_use]
-pub fn drive(pipeline: &Pipeline, machine: &mut Machine, batches: &[FormedBatch]) -> QueryLatencyReport {
+pub fn drive(
+    pipeline: &Pipeline,
+    machine: &mut Machine,
+    batches: &[FormedBatch],
+) -> QueryLatencyReport {
     assert!(!batches.is_empty(), "host::drive: no batches");
     for (i, b) in batches.iter().enumerate() {
         let (job, works) = pipeline.job_for_batch(machine, i as u64);

@@ -25,6 +25,13 @@
 //! * [`api`] — the programming interface of Listings 1–3: `Level`,
 //!   `StreamType`, `ReachConfig` (buffers, streams, accelerator
 //!   registration, `set_arg` bindings) and the host-side `Pipeline` driver.
+//! * [`blueprint`] — [`MachineBlueprint`]: an immutable, cheap-to-clone
+//!   machine recipe (config + template registry + energy presets);
+//!   `instantiate()` builds a fresh [`Machine`] per run.
+//! * [`scenario`] — [`Scenario`]: one trait for every experiment point
+//!   (figures, ablations, co-runs, sweeps), plus the [`ScenarioExecutor`]
+//!   contract that lets `reach-bench` fan independent points across
+//!   threads with byte-identical results.
 //!
 //! ## Quick start
 //!
@@ -51,18 +58,22 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod blueprint;
 pub mod config;
 pub mod host;
 pub mod machine;
 pub mod report;
+pub mod scenario;
 pub mod trace;
 pub mod work;
 
-pub use api::{Level, Pipeline, ReachConfig, StreamType};
+pub use api::{ExecMode, Level, Pipeline, ReachConfig, StreamType};
+pub use blueprint::MachineBlueprint;
 pub use config::SystemConfig;
 pub use host::{ArrivalProcess, Batcher};
 pub use machine::Machine;
 pub use report::{RunReport, StageSummary};
+pub use scenario::{FnScenario, Scenario, ScenarioExecutor, ScenarioResult, SequentialExecutor};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use work::{DataAccess, TaskWork};
 

@@ -29,6 +29,7 @@
 //! effective latency is quantized by the polling protocol, exactly as in the
 //! paper's Figure 5 design.
 
+use crate::blueprint::MachineBlueprint;
 use crate::config::SystemConfig;
 use crate::report::{RunReport, StageSummary};
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -37,10 +38,13 @@ use reach_accel::{Accelerator, AcceleratorId, ComputeLevel, TemplateRegistry};
 use reach_energy::{EnergyLedger, EnergyPresets, SystemComponent};
 use reach_gam::manager::{DmaId, Gam, GamAction};
 use reach_gam::{Job, JobId, TaskId};
-use reach_mem::{AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig};
+use reach_mem::{
+    AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig,
+};
 use reach_sim::{EventQueue, SimDuration, SimTime};
 use reach_storage::{NearStorageDevice, PcieSwitch};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Events the machine schedules for itself.
 #[derive(Clone, Debug)]
@@ -99,7 +103,7 @@ struct DmaMeta {
 pub struct Machine {
     cfg: SystemConfig,
     presets: EnergyPresets,
-    registry: TemplateRegistry,
+    registry: Arc<TemplateRegistry>,
     host_mc: MemoryController,
     nm_mc: MemoryController,
     noc: Noc,
@@ -128,23 +132,39 @@ impl Machine {
     /// Builds a machine from a configuration, with the paper's Table III
     /// template registry and Table IV energy presets.
     ///
+    /// Shorthand for `MachineBlueprint::new(cfg).instantiate()` — prefer
+    /// holding a [`MachineBlueprint`] when the same shape is built more
+    /// than once.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is degenerate (see
     /// [`SystemConfig::validate`]).
     #[must_use]
     pub fn new(cfg: SystemConfig) -> Self {
-        Self::with_registry(cfg, TemplateRegistry::paper_table3())
+        MachineBlueprint::new(cfg).instantiate()
     }
 
     /// Builds a machine with a custom template registry (for user kernels).
+    ///
+    /// Shorthand for `MachineBlueprint::with_registry(..).instantiate()`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is degenerate.
     #[must_use]
     pub fn with_registry(cfg: SystemConfig, registry: TemplateRegistry) -> Self {
-        cfg.validate();
+        MachineBlueprint::with_registry(cfg, registry).instantiate()
+    }
+
+    /// Assembles the runtime from blueprint parts. Only
+    /// [`MachineBlueprint::instantiate`] calls this; the config has already
+    /// been validated there.
+    pub(crate) fn assemble(
+        cfg: SystemConfig,
+        registry: Arc<TemplateRegistry>,
+        presets: EnergyPresets,
+    ) -> Self {
         let mut gam = Gam::new(cfg.gam);
         let mut accelerators = BTreeMap::new();
         let mut register = |level: ComputeLevel, count: usize| {
@@ -164,7 +184,7 @@ impl Machine {
             .collect();
 
         Machine {
-            presets: EnergyPresets::paper_table4(),
+            presets,
             registry,
             host_mc: MemoryController::new(cfg.host_mc),
             nm_mc: MemoryController::new(nm_mc_cfg),
@@ -346,7 +366,10 @@ impl Machine {
                 }
             }
         }
-        assert!(self.gam.idle(), "Machine::run: queue drained but GAM not idle");
+        assert!(
+            self.gam.idle(),
+            "Machine::run: queue drained but GAM not idle"
+        );
         self.report()
     }
 
@@ -373,7 +396,8 @@ impl Machine {
                     dest,
                 } => self.start_dma(id, bytes, from, to, dest),
                 GamAction::Poll { task, at, .. } => {
-                    self.queue.push(at.max(self.queue.now()), Event::Poll { task });
+                    self.queue
+                        .push(at.max(self.queue.now()), Event::Poll { task });
                 }
                 GamAction::HostInterrupt { .. } => { /* recorded by the caller */ }
             }
@@ -513,13 +537,8 @@ impl Machine {
                 // Address translation: page walks ride the gather's critical
                 // path (Figure 2's TLB + page-table walkers). The touched
                 // span is conservatively the whole gathered range.
-                let walks = self
-                    .onchip_tlb
-                    .estimated_walks(records, *granule, *bytes);
-                let latency_bound = (self
-                    .cfg
-                    .onchip_gather_latency
-                    .scaled(records)
+                let walks = self.onchip_tlb.estimated_walks(records, *granule, *bytes);
+                let latency_bound = (self.cfg.onchip_gather_latency.scaled(records)
                     + self.cfg.page_walk_latency.scaled(walks))
                 .div_ceil(mshr);
                 let acct = self.stages.entry(stage.to_string()).or_default();
@@ -546,8 +565,7 @@ impl Machine {
                 let overhead = per_record.scaled(records);
                 let acct = self.stages.entry(stage.to_string()).or_default();
                 acct.dram_activations += records;
-                end.max(ready + overhead)
-                    .max(ready + kernel_floor(*bytes))
+                end.max(ready + overhead).max(ready + kernel_floor(*bytes))
             }
             (ComputeLevel::NearStorage, DataAccess::Stream { bytes }) => {
                 let slot = acc.index % self.ns_devices.len().max(1);
@@ -803,7 +821,9 @@ impl Machine {
             + self.cfg.near_memory_accelerators;
         let dram_static = p.dram.energy_j(0, 0, dimms, makespan);
         let cache_static = p.cache.energy_j(0, makespan);
-        let ssd_static = p.ssd.energy_j(SimDuration::ZERO, self.ns_devices.len(), makespan);
+        let ssd_static = p
+            .ssd
+            .energy_j(SimDuration::ZERO, self.ns_devices.len(), makespan);
         let ic_static = p.mc_interconnect.energy_j(0, makespan);
         let pcie_static = p.pcie.energy_j(0, makespan);
 
@@ -830,8 +850,7 @@ impl Machine {
                 p.dram.pj_per_activation * 1e-12 * acct.dram_activations as f64
                     + p.dram.pj_per_byte * 1e-12 * acct.dram_bytes as f64,
             );
-            let ssd_active =
-                (p.ssd.active_w - p.ssd.idle_w).max(0.0) * acct.ssd_busy.as_secs_f64();
+            let ssd_active = (p.ssd.active_w - p.ssd.idle_w).max(0.0) * acct.ssd_busy.as_secs_f64();
             ledger.add(SystemComponent::Ssd, name, ssd_active);
             ledger.add(
                 SystemComponent::McInterconnect,
@@ -848,7 +867,11 @@ impl Machine {
             // usage for storage-path components.
             let _ = (total_dram_bytes, total_ic_bytes, total_cache);
             ledger.add(SystemComponent::Dram, name, dram_static * weight_time(acct));
-            ledger.add(SystemComponent::Cache, name, cache_static * weight_time(acct));
+            ledger.add(
+                SystemComponent::Cache,
+                name,
+                cache_static * weight_time(acct),
+            );
             ledger.add(
                 SystemComponent::Ssd,
                 name,
@@ -883,7 +906,11 @@ impl Machine {
         let jobs = self.job_latency.len() as u64;
         let mean = if jobs > 0 {
             SimDuration::from_ps(
-                (self.job_latency.iter().map(|d| u128::from(d.as_ps())).sum::<u128>()
+                (self
+                    .job_latency
+                    .iter()
+                    .map(|d| u128::from(d.as_ps()))
+                    .sum::<u128>()
                     / u128::from(jobs)) as u64,
             )
         } else {
@@ -893,7 +920,11 @@ impl Machine {
             makespan,
             jobs,
             job_latency_mean: mean,
-            job_latency_last: self.job_latency.last().copied().unwrap_or(SimDuration::ZERO),
+            job_latency_last: self
+                .job_latency
+                .last()
+                .copied()
+                .unwrap_or(SimDuration::ZERO),
             stages: summaries,
             ledger,
             gam: *self.gam.stats(),
@@ -912,7 +943,12 @@ mod tests {
         Machine::new(SystemConfig::paper_table2())
     }
 
-    fn compute_job(job_id: u64, macs: u64, level: ComputeLevel, template: &str) -> (Job, HashMap<TaskId, TaskWork>) {
+    fn compute_job(
+        job_id: u64,
+        macs: u64,
+        level: ComputeLevel,
+        template: &str,
+    ) -> (Job, HashMap<TaskId, TaskWork>) {
         let mut b = JobBuilder::new(job_id);
         let t = b.task(
             "w",
@@ -1030,7 +1066,10 @@ mod tests {
                 vec![],
                 vec![],
             );
-            (b.build(), HashMap::from([(t, TaskWork::stream(1, 16 << 20))]))
+            (
+                b.build(),
+                HashMap::from([(t, TaskWork::stream(1, 16 << 20))]),
+            )
         };
         m.submit(job, works);
         let _ = m.run();

@@ -1,0 +1,173 @@
+//! The scenario layer: one trait for every experiment point.
+//!
+//! A [`Scenario`] is a self-contained, independent unit of simulation — a
+//! figure point, an ablation point, an analytics co-run, a sweep point.
+//! It knows how to describe the machine it needs (a
+//! [`MachineBlueprint`]) and what to do with it (`run`). Because scenarios
+//! are `Send + Sync` and instantiate their own machines, any
+//! [`ScenarioExecutor`] can fan them out — sequentially here in core, or
+//! across threads in `reach-bench`'s `ScenarioRunner` — with byte-identical
+//! results: determinism comes from each scenario's own seed, never from
+//! execution order.
+
+use crate::blueprint::MachineBlueprint;
+use crate::machine::Machine;
+use crate::report::RunReport;
+
+/// Default seed for scenarios that do not choose one
+/// (re-exported from `reach_sim::rng`).
+pub use reach_sim::rng::DEFAULT_SEED;
+
+/// An independent experiment point.
+pub trait Scenario: Send + Sync {
+    /// Human-readable identity, e.g. `"fig8/near-memory/x4"`.
+    fn label(&self) -> String;
+
+    /// The seed this scenario derives all its randomness from. Executors
+    /// never inject randomness, so runs replay bit-for-bit.
+    fn seed(&self) -> u64 {
+        DEFAULT_SEED
+    }
+
+    /// The machine this scenario runs on.
+    fn blueprint(&self) -> MachineBlueprint;
+
+    /// Drives `machine` and reports. The machine is freshly instantiated
+    /// from [`Scenario::blueprint`] and owned by this call.
+    fn run(&self, machine: &mut Machine) -> RunReport;
+
+    /// Instantiates the blueprint and runs — the one-stop entry point.
+    fn execute(&self) -> RunReport {
+        let mut machine = self.blueprint().instantiate();
+        self.run(&mut machine)
+    }
+}
+
+/// A labelled report produced by an executor.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// The scenario's [`Scenario::label`].
+    pub label: String,
+    /// The report its run produced.
+    pub report: RunReport,
+}
+
+/// Something that can execute a batch of scenarios.
+///
+/// The contract every executor must honour: results come back **in
+/// submission order** and are **identical to sequential execution** —
+/// parallelism is an implementation detail, never an observable one.
+pub trait ScenarioExecutor {
+    /// Executes every scenario and returns their results in submission
+    /// order.
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult>;
+}
+
+/// The trivial executor: runs scenarios one after another on the calling
+/// thread. The reference implementation all parallel executors must match.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialExecutor;
+
+impl ScenarioExecutor for SequentialExecutor {
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
+        scenarios
+            .iter()
+            .map(|s| ScenarioResult {
+                label: s.label(),
+                report: s.execute(),
+            })
+            .collect()
+    }
+}
+
+/// A closure-backed scenario for one-off experiment points.
+pub struct FnScenario<F> {
+    label: String,
+    seed: u64,
+    blueprint: MachineBlueprint,
+    body: F,
+}
+
+impl<F> FnScenario<F>
+where
+    F: Fn(&mut Machine) -> RunReport + Send + Sync,
+{
+    /// A scenario running `body` on a machine built from `blueprint`.
+    pub fn new(label: impl Into<String>, blueprint: MachineBlueprint, body: F) -> Self {
+        FnScenario {
+            label: label.into(),
+            seed: DEFAULT_SEED,
+            blueprint,
+            body,
+        }
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl<F> Scenario for FnScenario<F>
+where
+    F: Fn(&mut Machine) -> RunReport + Send + Sync,
+{
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn blueprint(&self) -> MachineBlueprint {
+        self.blueprint.clone()
+    }
+
+    fn run(&self, machine: &mut Machine) -> RunReport {
+        (self.body)(machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{ExecMode, Level, Pipeline, ReachConfig};
+    use crate::work::TaskWork;
+
+    fn demo_scenario(batches: usize) -> impl Scenario {
+        let mut cfg = ReachConfig::new();
+        let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        let mut pipeline = Pipeline::new(cfg);
+        pipeline.call(acc, TaskWork::compute(1_000_000_000), "fe");
+        FnScenario::new(
+            format!("demo/x{batches}"),
+            MachineBlueprint::paper(),
+            move |machine| pipeline.run_mode(machine, batches, ExecMode::Pipelined),
+        )
+    }
+
+    #[test]
+    fn execute_builds_and_runs() {
+        let scenario = demo_scenario(2);
+        let report = scenario.execute();
+        assert_eq!(report.jobs, 2);
+        assert_eq!(scenario.label(), "demo/x2");
+        assert_eq!(scenario.seed(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn sequential_executor_preserves_order() {
+        let batch: Vec<Box<dyn Scenario>> = vec![
+            Box::new(demo_scenario(1)),
+            Box::new(demo_scenario(3)),
+            Box::new(demo_scenario(2)),
+        ];
+        let results = SequentialExecutor.run_all(batch);
+        let labels: Vec<_> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["demo/x1", "demo/x3", "demo/x2"]);
+        assert_eq!(results[1].report.jobs, 3);
+    }
+}

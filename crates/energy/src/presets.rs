@@ -111,7 +111,9 @@ mod tests {
         // — the effect the paper attributes ReACH's energy win to (shorter
         // makespan = less background energy).
         let p = EnergyPresets::paper_table4();
-        let e_total = p.dram.energy_j(1_000, 1 << 20, 8, SimDuration::from_ms(450));
+        let e_total = p
+            .dram
+            .energy_j(1_000, 1 << 20, 8, SimDuration::from_ms(450));
         let e_background = p.dram.energy_j(0, 0, 8, SimDuration::from_ms(450));
         assert!(e_background / e_total > 0.9);
     }

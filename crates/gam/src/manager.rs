@@ -375,9 +375,18 @@ impl Gam {
     /// A status poll came back "not finished"; the progress table records the
     /// new wait time and another poll is scheduled.
     #[must_use]
-    pub fn poll_missed(&mut self, task: TaskId, now: SimTime, remaining: SimDuration) -> Vec<GamAction> {
+    pub fn poll_missed(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+        remaining: SimDuration,
+    ) -> Vec<GamAction> {
         let entry = &self.tasks[&task];
-        assert_eq!(entry.state, TaskState::Running, "Gam: polled {task} not running");
+        assert_eq!(
+            entry.state,
+            TaskState::Running,
+            "Gam: polled {task} not running"
+        );
         let acc = entry.assigned.expect("running task has an accelerator");
         self.stats.polls_missed += 1;
         self.stats.polls_sent += 1;
@@ -403,7 +412,10 @@ impl Gam {
                 entry.task.level,
                 entry.task.outputs.clone(),
                 entry.task.job,
-                entry.assigned.take().expect("running task has an accelerator"),
+                entry
+                    .assigned
+                    .take()
+                    .expect("running task has an accelerator"),
             )
         };
         self.instances.insert(acc, None);
@@ -424,10 +436,7 @@ impl Gam {
             }
         }
 
-        let remaining = self
-            .jobs_remaining
-            .get_mut(&job)
-            .expect("job tracked");
+        let remaining = self.jobs_remaining.get_mut(&job).expect("job tracked");
         *remaining -= 1;
         if *remaining == 0 {
             self.stats.jobs_completed += 1;
@@ -457,10 +466,7 @@ impl Gam {
             e.pending_inputs -= 1;
             if e.pending_inputs == 0 && e.unmet_deps == 0 {
                 e.state = TaskState::Ready;
-                self.queues
-                    .entry(e.task.level)
-                    .or_default()
-                    .insert(task);
+                self.queues.entry(e.task.level).or_default().insert(task);
             }
         }
         actions.extend(self.try_dispatch());
@@ -471,9 +477,7 @@ impl Gam {
     /// machine loop to detect quiescence.
     #[must_use]
     pub fn idle(&self) -> bool {
-        self.tasks
-            .values()
-            .all(|e| e.state == TaskState::Done)
+        self.tasks.values().all(|e| e.state == TaskState::Done)
     }
 }
 

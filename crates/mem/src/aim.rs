@@ -192,8 +192,13 @@ impl AimModule {
             "AimModule::stream_local: kernel not launched (DIMM owned by host)"
         );
         self.stats.local_bytes += bytes;
-        mc.dimm_mut(self.channel, self.slot)
-            .stream(now, local_addr, bytes, kind, RowPolicy::ClosedRow)
+        mc.dimm_mut(self.channel, self.slot).stream(
+            now,
+            local_addr,
+            bytes,
+            kind,
+            RowPolicy::ClosedRow,
+        )
     }
 
     /// A single line access on the owned DIMM (closed-row).
@@ -290,9 +295,12 @@ mod tests {
         let ra = a.stream_local(ta, &mut mc, 0, bytes, AccessKind::Read);
         let rb = b.stream_local(tb, &mut mc, 0, bytes, AccessKind::Read);
         // Two modules on distinct DIMMs finish in about the same time as one.
-        let skew = ra.complete.as_ps().abs_diff(rb.complete.as_ps()) as f64
-            / ra.complete.as_ps() as f64;
-        assert!(skew < 0.05, "independent DIMMs should not contend: skew {skew}");
+        let skew =
+            ra.complete.as_ps().abs_diff(rb.complete.as_ps()) as f64 / ra.complete.as_ps() as f64;
+        assert!(
+            skew < 0.05,
+            "independent DIMMs should not contend: skew {skew}"
+        );
     }
 
     #[test]
@@ -313,7 +321,8 @@ mod tests {
         // Host access after hand-back pays activation (no stale open row),
         // i.e. the closed-row contract held.
         let hits_before = mc.dimm(0, 0).stats().row_hits;
-        mc.dimm_mut(0, 0).access(t1, 0, AccessKind::Read, RowPolicy::OpenPage);
+        mc.dimm_mut(0, 0)
+            .access(t1, 0, AccessKind::Read, RowPolicy::OpenPage);
         assert_eq!(mc.dimm(0, 0).stats().row_hits, hits_before);
     }
 }

@@ -103,10 +103,7 @@ impl MemoryController {
     #[must_use]
     pub fn new(config: MemoryControllerConfig) -> Self {
         assert!(config.channels > 0, "MemoryController: need channels");
-        assert!(
-            config.dimms_per_channel > 0,
-            "MemoryController: need DIMMs"
-        );
+        assert!(config.dimms_per_channel > 0, "MemoryController: need DIMMs");
         if let Interleave::Tile(t) = config.interleave {
             assert!(
                 t > 0 && t % config.dimm.line_bytes == 0,
@@ -218,7 +215,13 @@ impl MemoryController {
                     channel.stats.bytes += per_channel;
                     for slot in 0..self.config.dimms_per_channel {
                         let local = (addr / n).min(self.config.dimm.capacity - share);
-                        let r = channel.dimms[slot].stream(now, local, share, kind, RowPolicy::OpenPage);
+                        let r = channel.dimms[slot].stream(
+                            now,
+                            local,
+                            share,
+                            kind,
+                            RowPolicy::OpenPage,
+                        );
                         start = start.min(r.start);
                         complete = complete.max(r.complete).max(bus.ready);
                     }
@@ -240,7 +243,8 @@ impl MemoryController {
                     let channel = &mut self.channels[ch];
                     let bus = channel.bus.reserve(now, bus_time);
                     channel.stats.bytes += in_tile;
-                    let r = channel.dimms[slot].stream(now, local, in_tile, kind, RowPolicy::OpenPage);
+                    let r =
+                        channel.dimms[slot].stream(now, local, in_tile, kind, RowPolicy::OpenPage);
                     start = start.min(r.start);
                     complete = complete.max(r.complete).max(bus.ready);
                     offset += in_tile;
@@ -374,7 +378,8 @@ mod tests {
         let bytes: u64 = 64 << 20;
         let solo = {
             let mut m2 = mc();
-            m2.stream(SimTime::ZERO, 0, bytes, AccessKind::Read).complete
+            m2.stream(SimTime::ZERO, 0, bytes, AccessKind::Read)
+                .complete
         };
         let a = m.stream(SimTime::ZERO, 0, bytes, AccessKind::Read);
         let b = m.stream(SimTime::ZERO, 1 << 30, bytes, AccessKind::Read);

@@ -328,7 +328,8 @@ impl Dimm {
     ) -> Reservation {
         assert!(bytes > 0, "Dimm::stream: empty transfer");
         assert!(
-            addr.checked_add(bytes).is_some_and(|end| end <= self.config.capacity),
+            addr.checked_add(bytes)
+                .is_some_and(|end| end <= self.config.capacity),
             "Dimm::stream: range beyond capacity"
         );
         let t = self.config.timing;
@@ -449,11 +450,13 @@ mod tests {
         // row_bytes * banks.
         let conflict_addr = cfg.row_bytes * cfg.banks;
         let a = d.access(SimTime::ZERO, 0, AccessKind::Read, RowPolicy::OpenPage);
-        let b = d.access(a.ready, conflict_addr, AccessKind::Read, RowPolicy::OpenPage);
-        assert_eq!(
-            (b.complete - b.start),
-            cfg.timing.conflict_latency()
+        let b = d.access(
+            a.ready,
+            conflict_addr,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
         );
+        assert_eq!((b.complete - b.start), cfg.timing.conflict_latency());
     }
 
     #[test]
@@ -462,7 +465,12 @@ mod tests {
         let cfg = *d.config();
         // Addresses in different banks: consecutive rows.
         let a = d.access(SimTime::ZERO, 0, AccessKind::Read, RowPolicy::OpenPage);
-        let b = d.access(SimTime::ZERO, cfg.row_bytes, AccessKind::Read, RowPolicy::OpenPage);
+        let b = d.access(
+            SimTime::ZERO,
+            cfg.row_bytes,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
+        );
         // Bank work overlaps; only the bus serializes the two bursts.
         assert!(b.complete < a.complete + cfg.timing.act_latency());
     }
@@ -471,20 +479,35 @@ mod tests {
     fn stream_approaches_peak_bandwidth() {
         let mut d = dimm();
         let bytes: u64 = 64 << 20; // 64 MiB
-        let r = d.stream(SimTime::ZERO, 0, bytes, AccessKind::Read, RowPolicy::OpenPage);
+        let r = d.stream(
+            SimTime::ZERO,
+            0,
+            bytes,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
+        );
         let secs = (r.complete - r.start).as_secs_f64();
         let achieved = bytes as f64 / secs;
         let peak = d.peak_bandwidth_bytes_per_sec() as f64;
         // Streaming should reach at least 80% of peak (refresh + lead-in
         // overheads), and never exceed it.
-        assert!(achieved > 0.8 * peak, "achieved {achieved:.2e} vs peak {peak:.2e}");
+        assert!(
+            achieved > 0.8 * peak,
+            "achieved {achieved:.2e} vs peak {peak:.2e}"
+        );
         assert!(achieved <= peak * 1.001);
     }
 
     #[test]
     fn stream_counts_bursts_and_bytes() {
         let mut d = dimm();
-        d.stream(SimTime::ZERO, 0, 1 << 20, AccessKind::Write, RowPolicy::OpenPage);
+        d.stream(
+            SimTime::ZERO,
+            0,
+            1 << 20,
+            AccessKind::Write,
+            RowPolicy::OpenPage,
+        );
         assert_eq!(d.stats().write_bursts, (1 << 20) / 64);
         assert_eq!(d.stats().bytes, 1 << 20);
         // 1 MiB crosses 128 rows of 8 KiB.
@@ -496,11 +519,29 @@ mod tests {
         let mut d = dimm();
         let solo_time = {
             let mut d2 = dimm();
-            let r = d2.stream(SimTime::ZERO, 0, 8 << 20, AccessKind::Read, RowPolicy::OpenPage);
+            let r = d2.stream(
+                SimTime::ZERO,
+                0,
+                8 << 20,
+                AccessKind::Read,
+                RowPolicy::OpenPage,
+            );
             r.complete
         };
-        let a = d.stream(SimTime::ZERO, 0, 8 << 20, AccessKind::Read, RowPolicy::OpenPage);
-        let b = d.stream(SimTime::ZERO, 1 << 30, 8 << 20, AccessKind::Read, RowPolicy::OpenPage);
+        let a = d.stream(
+            SimTime::ZERO,
+            0,
+            8 << 20,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
+        );
+        let b = d.stream(
+            SimTime::ZERO,
+            1 << 30,
+            8 << 20,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
+        );
         // The later of the two concurrent streams takes ~2x the solo time.
         let concurrent = a.complete.max(b.complete);
         let ratio = concurrent.as_ps() as f64 / solo_time.as_ps() as f64;
@@ -511,7 +552,12 @@ mod tests {
     fn refresh_blackout_delays_accesses() {
         let mut d = dimm();
         // Land exactly inside the first refresh window [0, tRFC).
-        let r = d.access(SimTime::from_ps(1), 0, AccessKind::Read, RowPolicy::OpenPage);
+        let r = d.access(
+            SimTime::from_ps(1),
+            0,
+            AccessKind::Read,
+            RowPolicy::OpenPage,
+        );
         assert!(r.start >= SimTime::ZERO + d.config().timing.t_rfc);
     }
 

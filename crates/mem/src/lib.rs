@@ -37,6 +37,6 @@ pub mod tlb;
 pub use aim::{AimBus, AimModule, DimmOwner};
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use controller::{Interleave, MemoryController, MemoryControllerConfig};
+pub use ddr::{AccessKind, DdrTiming, Dimm, DimmConfig, RowPolicy};
 pub use noc::{Noc, NocConfig, NocPort};
 pub use tlb::{Tlb, TlbConfig};
-pub use ddr::{AccessKind, DdrTiming, Dimm, DimmConfig, RowPolicy};

@@ -131,7 +131,13 @@ impl Noc {
     ///
     /// Panics if `src == dst` (loopback traffic never enters the fabric) or
     /// `bytes` is zero.
-    pub fn transfer(&mut self, now: SimTime, src: NocPort, dst: NocPort, bytes: u64) -> Reservation {
+    pub fn transfer(
+        &mut self,
+        now: SimTime,
+        src: NocPort,
+        dst: NocPort,
+        bytes: u64,
+    ) -> Reservation {
         assert!(src != dst, "Noc::transfer: loopback {src:?}");
         assert!(bytes > 0, "Noc::transfer: empty transfer");
         let port_time = self.config.port_bandwidth.transfer_time(bytes);

@@ -254,10 +254,7 @@ mod tests {
 
     #[test]
     fn zero_transfer_is_instant() {
-        assert_eq!(
-            Bandwidth::from_gbps(1).transfer_time(0),
-            SimDuration::ZERO
-        );
+        assert_eq!(Bandwidth::from_gbps(1).transfer_time(0), SimDuration::ZERO);
         assert_eq!(Frequency::from_ghz(1).cycles(0), SimDuration::ZERO);
     }
 }

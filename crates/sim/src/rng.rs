@@ -50,8 +50,14 @@ mod tests {
 
     #[test]
     fn seeded_is_reproducible() {
-        let xs: Vec<u32> = seeded(42).sample_iter(rand::distributions::Standard).take(8).collect();
-        let ys: Vec<u32> = seeded(42).sample_iter(rand::distributions::Standard).take(8).collect();
+        let xs: Vec<u32> = seeded(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let ys: Vec<u32> = seeded(42)
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(xs, ys);
     }
 

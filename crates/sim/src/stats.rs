@@ -100,7 +100,11 @@ impl Accumulator {
     /// Panics if `v` is NaN — a NaN sample silently poisons every later
     /// aggregate, so it is rejected at the door.
     pub fn record(&mut self, v: f64) {
-        assert!(!v.is_nan(), "Accumulator::record: NaN sample in {}", self.name);
+        assert!(
+            !v.is_nan(),
+            "Accumulator::record: NaN sample in {}",
+            self.name
+        );
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
@@ -199,7 +203,11 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let bucket = if v == 0 { 0 } else { 63 - v.leading_zeros() as usize };
+        let bucket = if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum += u128::from(v);
@@ -239,12 +247,18 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let rank = (u128::from(self.count) * u128::from(p)).div_ceil(100).max(1);
+        let rank = (u128::from(self.count) * u128::from(p))
+            .div_ceil(100)
+            .max(1);
         let mut seen: u128 = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += u128::from(c);
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         u64::MAX
@@ -422,7 +436,7 @@ mod tests {
         let mut s = TimeWeighted::new("q");
         s.set(SimTime::from_ps(0), 1.0);
         s.add(SimTime::from_ps(50), 1.0); // value 2.0 from t=50
-        // [0, 50): 1.0; [50, 100): 2.0 -> avg 1.5
+                                          // [0, 50): 1.0; [50, 100): 2.0 -> avg 1.5
         assert!((s.average(SimTime::from_ps(100)) - 1.5).abs() < 1e-12);
         assert_eq!(s.current(), 2.0);
     }

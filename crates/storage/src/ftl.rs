@@ -335,7 +335,10 @@ mod tests {
         // No two LPNs share a physical page.
         let mut seen = std::collections::BTreeSet::new();
         for &lpn in &written {
-            assert!(seen.insert(ftl.translate(lpn).unwrap()), "aliased physical page");
+            assert!(
+                seen.insert(ftl.translate(lpn).unwrap()),
+                "aliased physical page"
+            );
         }
     }
 

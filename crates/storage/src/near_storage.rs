@@ -167,7 +167,12 @@ impl NearStorageDevice {
     /// A device-side read issued by the attached accelerator: served from the
     /// private buffer when pinned, otherwise from flash across the device
     /// link.
-    pub fn device_read(&mut self, now: SimTime, addr: u64, bytes: u64) -> (Reservation, BufferOutcome) {
+    pub fn device_read(
+        &mut self,
+        now: SimTime,
+        addr: u64,
+        bytes: u64,
+    ) -> (Reservation, BufferOutcome) {
         if self.is_pinned(addr, bytes) {
             self.stats.buffer_bytes += bytes;
             (self.buffer.transfer(now, bytes), BufferOutcome::BufferHit)

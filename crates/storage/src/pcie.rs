@@ -194,8 +194,12 @@ mod tests {
 
     #[test]
     fn gen4_doubles_gen3() {
-        let g3 = PcieLink::new(PcieGen::Gen3, 4, 1.0).bandwidth().as_bytes_per_sec();
-        let g4 = PcieLink::new(PcieGen::Gen4, 4, 1.0).bandwidth().as_bytes_per_sec();
+        let g3 = PcieLink::new(PcieGen::Gen3, 4, 1.0)
+            .bandwidth()
+            .as_bytes_per_sec();
+        let g4 = PcieLink::new(PcieGen::Gen4, 4, 1.0)
+            .bandwidth()
+            .as_bytes_per_sec();
         let ratio = g4 as f64 / g3 as f64;
         assert!((ratio - 2.0).abs() < 0.01);
     }
@@ -208,7 +212,10 @@ mod tests {
         let b = sw.host_transfer(SimTime::ZERO, bytes);
         assert_eq!(b.start, a.ready);
         let total = (b.complete - SimTime::ZERO).as_secs_f64();
-        assert!((total - 0.2).abs() < 0.01, "two streams take ~0.2 s, got {total}");
+        assert!(
+            (total - 0.2).abs() < 0.01,
+            "two streams take ~0.2 s, got {total}"
+        );
     }
 
     #[test]

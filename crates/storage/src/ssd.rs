@@ -129,10 +129,9 @@ impl Ssd {
         x ^= x >> 27;
         self.jitter_state = x;
         let draw = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) % 101; // 0..=100
-        let extra = base.as_ps() as u128
-            * u128::from(self.config.latency_jitter_pct)
-            * draw as u128
-            / 10_000;
+        let extra =
+            base.as_ps() as u128 * u128::from(self.config.latency_jitter_pct) * draw as u128
+                / 10_000;
         base + SimDuration::from_ps(extra as u64)
     }
 
@@ -158,14 +157,18 @@ impl Ssd {
     ) -> Reservation {
         assert!(bytes > 0, "Ssd: empty IO");
         assert!(
-            addr.checked_add(bytes).is_some_and(|end| end <= self.config.capacity),
+            addr.checked_add(bytes)
+                .is_some_and(|end| end <= self.config.capacity),
             "Ssd: IO beyond capacity"
         );
         // Round to page granularity: a 1-byte read still fetches a page.
         let first_page = addr / self.config.page_bytes;
         let last_page = (addr + bytes).div_ceil(self.config.page_bytes);
         let pages = last_page - first_page;
-        let page_time = self.config.channel_bandwidth.transfer_time(self.config.page_bytes);
+        let page_time = self
+            .config
+            .channel_bandwidth
+            .transfer_time(self.config.page_bytes);
 
         // Stripe pages round-robin over the channels; each page occupies its
         // channel for one page transfer time.
@@ -251,7 +254,10 @@ mod tests {
         let secs = (r.complete - SimTime::ZERO).as_secs_f64();
         let achieved = bytes as f64 / secs;
         let internal = s.config().internal_bandwidth().as_bytes_per_sec() as f64;
-        assert!(achieved > 0.9 * internal, "achieved {achieved:.3e} vs {internal:.3e}");
+        assert!(
+            achieved > 0.9 * internal,
+            "achieved {achieved:.3e} vs {internal:.3e}"
+        );
         assert!(achieved <= internal * 1.001);
     }
 
@@ -315,7 +321,10 @@ mod tests {
         let b = run();
         assert_eq!(a, b, "jitter must be deterministic");
         let base = SsdConfig::nytro_class().read_latency.as_ps();
-        assert!(a.iter().all(|&t| t >= base), "jitter never shortens latency");
+        assert!(
+            a.iter().all(|&t| t >= base),
+            "jitter never shortens latency"
+        );
         assert!(
             a.iter().all(|&t| t <= base * 13 / 10 + 1),
             "jitter bounded at +30%"

@@ -54,7 +54,7 @@ fn main() {
     let workload = CbirWorkload::paper_setup();
     for mapping in [CbirMapping::AllOnChip, CbirMapping::Proper] {
         let pipeline = CbirPipeline::new(workload, mapping);
-        let mut machine = reach_cbir::experiments::machine_with(4, 4);
+        let mut machine = reach_cbir::blueprint_with(4, 4).instantiate();
         let report = pipeline.run(&mut machine, 4);
         println!(
             "  {:<12} {:.2} batches/s, {} latency, {:.1} J/batch",

@@ -13,8 +13,8 @@
 //! ```
 
 use reach::{
-    ComputeLevel, KernelSpec, Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig,
-    TaskWork, TemplateRegistry,
+    ComputeLevel, KernelSpec, Level, MachineBlueprint, Pipeline, ReachConfig, StreamType,
+    SystemConfig, TaskWork, TemplateRegistry,
 };
 use reach_accel::{FpgaPart, KernelClass, Utilization};
 use reach_sim::Frequency;
@@ -52,7 +52,8 @@ fn main() {
         io_bytes_per_cycle: 128.0,
     });
 
-    let mut machine = Machine::with_registry(SystemConfig::paper_table2(), registry);
+    let mut machine =
+        MachineBlueprint::with_registry(SystemConfig::paper_table2(), registry).instantiate();
 
     // Filter 64 GB of table data on the SSDs (selectivity ~1%), aggregate
     // the survivors on-chip.
@@ -90,10 +91,18 @@ fn main() {
             "1-scan-filter",
         );
     }
-    pipeline.call(agg, TaskWork::stream(filtered_bytes * 4, filtered_bytes), "2-aggregate");
+    pipeline.call(
+        agg,
+        TaskWork::stream(filtered_bytes * 4, filtered_bytes),
+        "2-aggregate",
+    );
 
     let report = pipeline.run(&mut machine, 1);
-    println!("scanned {} GB across {} near-storage units:", table_bytes >> 30, shards);
+    println!(
+        "scanned {} GB across {} near-storage units:",
+        table_bytes >> 30,
+        shards
+    );
     println!("{report}");
 
     let scan = report.stage("1-scan-filter").expect("scan stage ran");

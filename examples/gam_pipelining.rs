@@ -17,8 +17,8 @@ fn main() {
     let p = CbirPipeline::new(w, CbirMapping::Proper);
     let batches = 8;
 
-    let seq = p.run_sequential(&mut reach_cbir::experiments::machine_with(4, 4), batches);
-    let pipe = p.run(&mut reach_cbir::experiments::machine_with(4, 4), batches);
+    let seq = p.run_sequential(&mut reach_cbir::blueprint_with(4, 4).instantiate(), batches);
+    let pipe = p.run(&mut reach_cbir::blueprint_with(4, 4).instantiate(), batches);
 
     println!("== {batches} batches, proper mapping (FE on-chip, SL near-mem, RR near-storage) ==");
     println!(
@@ -39,13 +39,20 @@ fn main() {
     println!();
     println!("GAM statistics (pipelined run):");
     let g = pipe.gam;
-    println!("  jobs        submitted {} / completed {}", g.jobs_submitted, g.jobs_completed);
+    println!(
+        "  jobs        submitted {} / completed {}",
+        g.jobs_submitted, g.jobs_completed
+    );
     println!("  dispatches  {}", g.dispatches);
     println!(
         "  status polls {} sent, {} found the task still running",
         g.polls_sent, g.polls_missed
     );
-    println!("  DMA         {} transfers, {:.1} MB", g.dmas, g.dma_bytes as f64 / 1e6);
+    println!(
+        "  DMA         {} transfers, {:.1} MB",
+        g.dmas,
+        g.dma_bytes as f64 / 1e6
+    );
 
     println!();
     println!("stage occupancy (pipelined run):");

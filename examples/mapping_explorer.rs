@@ -9,7 +9,7 @@
 //! cargo run --example mapping_explorer --release
 //! ```
 
-use reach::{Level, Machine, SystemConfig};
+use reach::{Level, MachineBlueprint, SystemConfig};
 use reach_cbir::pipeline::CbirStage;
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
 
@@ -21,7 +21,12 @@ fn mapping_name(levels: [Level; 3]) -> String {
         Level::NearStor => "stor",
         Level::Cpu => "cpu",
     };
-    format!("{}/{}/{}", short(levels[0]), short(levels[1]), short(levels[2]))
+    format!(
+        "{}/{}/{}",
+        short(levels[0]),
+        short(levels[1]),
+        short(levels[2])
+    )
 }
 
 fn main() {
@@ -30,7 +35,7 @@ fn main() {
 
     // Baseline for normalization.
     let base = CbirPipeline::new(w, CbirMapping::AllOnChip)
-        .run(&mut Machine::new(SystemConfig::paper_table2()), batches);
+        .run(&mut MachineBlueprint::paper().instantiate(), batches);
 
     println!(
         "{:<16} {:>12} {:>12} {:>10}   (vs on-chip baseline)",
@@ -41,7 +46,7 @@ fn main() {
     let mut results: Vec<(String, f64, f64, f64)> = Vec::new();
     for mapping in CbirMapping::ALL {
         let r = CbirPipeline::new(w, mapping)
-            .run(&mut Machine::new(SystemConfig::paper_table2()), batches);
+            .run(&mut MachineBlueprint::paper().instantiate(), batches);
         let levels = [
             mapping.level_of(CbirStage::FeatureExtraction),
             mapping.level_of(CbirStage::ShortList),
@@ -60,7 +65,8 @@ fn main() {
         let cfg = SystemConfig::paper_table2()
             .with_near_memory(nm)
             .with_near_storage(ns);
-        let r = CbirPipeline::new(w, CbirMapping::Proper).run(&mut Machine::new(cfg), batches);
+        let r = CbirPipeline::new(w, CbirMapping::Proper)
+            .run(&mut MachineBlueprint::new(cfg).instantiate(), batches);
         results.push((
             format!("chip/mem/stor x{nm}/{ns}"),
             r.throughput_jobs_per_sec(),

@@ -31,7 +31,10 @@ fn main() {
         "{:<26} {:>14} {:>14} {:>12}",
         "queries/s offered", "mean latency", "max latency", "batches"
     );
-    for (name, mapping) in [("on-chip", CbirMapping::AllOnChip), ("ReACH", CbirMapping::Proper)] {
+    for (name, mapping) in [
+        ("on-chip", CbirMapping::AllOnChip),
+        ("ReACH", CbirMapping::Proper),
+    ] {
         println!("--- {name} ---");
         for qps in [20u64, 30, 60, 120, 150, 320] {
             let mean_gap = SimDuration::from_secs_f64(1.0 / qps as f64);
@@ -41,9 +44,9 @@ fn main() {
             }
             .arrivals(queries);
             let batches = batcher.form(&arrivals);
-            let pipeline =
-                CbirPipeline::new(w, mapping).build(&reach_cbir::experiments::machine_with(4, 4));
-            let mut machine = reach_cbir::experiments::machine_with(4, 4);
+            let pipeline = CbirPipeline::new(w, mapping)
+                .build(&reach_cbir::blueprint_with(4, 4).instantiate());
+            let mut machine = reach_cbir::blueprint_with(4, 4).instantiate();
             let report = drive(&pipeline, &mut machine, &batches);
             println!(
                 "{:<26} {:>14} {:>14} {:>12}",

@@ -8,7 +8,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
+use reach::{Level, MachineBlueprint, Pipeline, ReachConfig, StreamType, TaskWork};
 
 fn main() {
     // --- config.h: buffers, streams, accelerators (Listing 2) ---
@@ -22,7 +22,13 @@ fn main() {
     // Streams: query images in from the CPU, features broadcast down the
     // hierarchy, results collected back.
     let input = cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 2 << 20, 2);
-    let features = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 6_144, 2);
+    let features = cfg.create_stream(
+        Level::OnChip,
+        Level::NearStor,
+        StreamType::Broadcast,
+        6_144,
+        2,
+    );
     let result = cfg.create_stream(Level::NearStor, Level::Cpu, StreamType::Collect, 1_280, 2);
 
     // Accelerators: one on-chip CNN, two near-storage KNN shards.
@@ -41,12 +47,24 @@ fn main() {
 
     // --- host.cpp: the flow (Listing 3) ---
     let mut pipeline = Pipeline::new(cfg);
-    pipeline.call(cnn, TaskWork::compute(16 * 7_750_000_000), "feature-extraction");
-    pipeline.call(knn0, TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096), "rerank");
-    pipeline.call(knn1, TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096), "rerank");
+    pipeline.call(
+        cnn,
+        TaskWork::compute(16 * 7_750_000_000),
+        "feature-extraction",
+    );
+    pipeline.call(
+        knn0,
+        TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096),
+        "rerank",
+    );
+    pipeline.call(
+        knn1,
+        TaskWork::gather(16 * 2048 * 96, 128 << 20, 4096),
+        "rerank",
+    );
 
     // --- run on the paper's Table II machine ---
-    let mut machine = Machine::new(SystemConfig::paper_table2());
+    let mut machine = MachineBlueprint::paper().instantiate();
     let report = pipeline.run(&mut machine, 4);
 
     println!("ran {} batches in {}", report.jobs, report.makespan);

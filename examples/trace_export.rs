@@ -12,7 +12,7 @@
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
 
 fn main() -> std::io::Result<()> {
-    let mut machine = reach_cbir::experiments::machine_with(4, 4);
+    let mut machine = reach_cbir::blueprint_with(4, 4).instantiate();
     machine.enable_trace();
 
     let pipeline = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);

@@ -1,10 +1,12 @@
 //! Negative-path coverage: the library must fail loudly and informatively
 //! on misuse, not corrupt a simulation (C-VALIDATE across the stack).
 
-use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
+use reach::{
+    Level, Machine, MachineBlueprint, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork,
+};
 
 fn machine() -> Machine {
-    Machine::new(SystemConfig::paper_table2())
+    MachineBlueprint::paper().instantiate()
 }
 
 #[test]
@@ -69,7 +71,7 @@ fn level_without_instances_rejected() {
     // mapping: the pipeline builder refuses at compile-to-job time.
     let mut cfg = SystemConfig::paper_table2();
     cfg.near_storage_accelerators = 0;
-    let degenerate = Machine::new(cfg);
+    let degenerate = MachineBlueprint::new(cfg).instantiate();
     let w = reach_cbir::CbirWorkload::paper_setup();
     let p = reach_cbir::CbirPipeline::new(w, reach_cbir::CbirMapping::AllNearStorage);
     let _ = p.build(&degenerate);

@@ -6,12 +6,16 @@
 //! system still completes correctly and the headline behaviour degrades
 //! gracefully rather than collapsing.
 
-use reach::{Machine, SimDuration, SystemConfig};
-use reach_cbir::experiments::machine_with;
+use reach::{Machine, MachineBlueprint, SimDuration, SystemConfig};
+use reach_cbir::blueprint_with;
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
 
 fn proper() -> CbirPipeline {
     CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper)
+}
+
+fn machine_with(nm: usize, ns: usize) -> Machine {
+    blueprint_with(nm, ns).instantiate()
 }
 
 /// 30% SSD latency jitter: every job still completes, results stay
@@ -21,11 +25,10 @@ fn ssd_jitter_degrades_gracefully() {
     let clean = proper().run(&mut machine_with(4, 4), 8);
     let jittered = {
         let cfg = SystemConfig::paper_table2().with_ssd_jitter(30);
-        proper().run(&mut Machine::new(cfg), 8)
+        proper().run(&mut MachineBlueprint::new(cfg).instantiate(), 8)
     };
     assert_eq!(jittered.jobs, 8, "jobs lost under jitter");
-    let slowdown =
-        jittered.makespan.as_secs_f64() / clean.makespan.as_secs_f64();
+    let slowdown = jittered.makespan.as_secs_f64() / clean.makespan.as_secs_f64();
     assert!(
         (0.99..1.5).contains(&slowdown),
         "30% command jitter should cost <50% end-to-end (rerank is \
@@ -34,7 +37,7 @@ fn ssd_jitter_degrades_gracefully() {
     // Deterministic replay under jitter too.
     let again = {
         let cfg = SystemConfig::paper_table2().with_ssd_jitter(30);
-        proper().run(&mut Machine::new(cfg), 8)
+        proper().run(&mut MachineBlueprint::new(cfg).instantiate(), 8)
     };
     assert_eq!(jittered.makespan, again.makespan);
 }
@@ -45,7 +48,7 @@ fn ssd_jitter_degrades_gracefully() {
 fn coarse_polling_is_safe() {
     let mut cfg = SystemConfig::paper_table2();
     cfg.gam.min_poll_interval = SimDuration::from_ms(50);
-    let r = proper().run(&mut Machine::new(cfg), 4);
+    let r = proper().run(&mut MachineBlueprint::new(cfg).instantiate(), 4);
     assert_eq!(r.jobs, 4);
     // Completions remain ordered (in-order pipeline).
     let c = r.job_completions();
@@ -63,15 +66,16 @@ fn slow_reconfiguration_hurts_only_the_shared_slot() {
     let base_fast = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllOnChip)
         .run(&mut machine_with(4, 4), 4);
     let base_slow = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllOnChip)
-        .run(&mut Machine::new(slow.clone()), 4);
+        .run(&mut MachineBlueprint::new(slow.clone()).instantiate(), 4);
     let reach_fast = proper().run(&mut machine_with(4, 4), 4);
-    let reach_slow = proper().run(&mut Machine::new(slow), 4);
+    let reach_slow = proper().run(&mut MachineBlueprint::new(slow).instantiate(), 4);
 
-    let base_penalty =
-        base_slow.makespan.as_secs_f64() / base_fast.makespan.as_secs_f64();
-    let reach_penalty =
-        reach_slow.makespan.as_secs_f64() / reach_fast.makespan.as_secs_f64();
-    assert!(base_penalty > 1.05, "baseline should feel 20 ms swaps: {base_penalty:.3}");
+    let base_penalty = base_slow.makespan.as_secs_f64() / base_fast.makespan.as_secs_f64();
+    let reach_penalty = reach_slow.makespan.as_secs_f64() / reach_fast.makespan.as_secs_f64();
+    assert!(
+        base_penalty > 1.05,
+        "baseline should feel 20 ms swaps: {base_penalty:.3}"
+    );
     assert!(
         reach_penalty < base_penalty,
         "ReACH should be less sensitive: {reach_penalty:.3} vs {base_penalty:.3}"

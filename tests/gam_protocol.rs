@@ -2,13 +2,13 @@
 //! times, DMA initiation and host interrupts — Figure 5's micro-architecture
 //! exercised end to end.
 
-use reach::{ComputeLevel, Machine, SystemConfig, TaskWork};
+use reach::{ComputeLevel, Machine, MachineBlueprint, SystemConfig, TaskWork};
 use reach_gam::JobBuilder;
 use reach_sim::SimDuration;
 use std::collections::HashMap;
 
 fn machine() -> Machine {
-    Machine::new(SystemConfig::paper_table2())
+    MachineBlueprint::paper().instantiate()
 }
 
 fn ms(n: u64) -> SimDuration {
@@ -20,8 +20,24 @@ fn ms(n: u64) -> SimDuration {
 fn polling_only_for_offchip_levels() {
     let mut m = machine();
     let mut job = JobBuilder::new(0);
-    let onchip = job.task("a", "VGG16-VU9P", ComputeLevel::OnChip, ms(10), vec![], vec![], vec![]);
-    let offchip = job.task("b", "KNN-ZCU9", ComputeLevel::NearStorage, ms(10), vec![], vec![], vec![]);
+    let onchip = job.task(
+        "a",
+        "VGG16-VU9P",
+        ComputeLevel::OnChip,
+        ms(10),
+        vec![],
+        vec![],
+        vec![],
+    );
+    let offchip = job.task(
+        "b",
+        "KNN-ZCU9",
+        ComputeLevel::NearStorage,
+        ms(10),
+        vec![],
+        vec![],
+        vec![],
+    );
     m.submit(
         job.build(),
         HashMap::from([
@@ -41,8 +57,19 @@ fn underestimated_task_is_repolled() {
     let mut m = machine();
     let mut job = JobBuilder::new(0);
     // Estimate 1 ms, actual ~47 ms (7.75 GMACs on the embedded CNN).
-    let t = job.task("fe", "VGG16-ZCU9", ComputeLevel::NearMemory, ms(1), vec![], vec![], vec![]);
-    m.submit(job.build(), HashMap::from([(t, TaskWork::compute(7_750_000_000))]));
+    let t = job.task(
+        "fe",
+        "VGG16-ZCU9",
+        ComputeLevel::NearMemory,
+        ms(1),
+        vec![],
+        vec![],
+        vec![],
+    );
+    m.submit(
+        job.build(),
+        HashMap::from([(t, TaskWork::compute(7_750_000_000))]),
+    );
     let r = m.run();
     assert!(r.gam.polls_missed >= 1, "expected at least one missed poll");
     assert!(r.gam.polls_sent > r.gam.polls_missed);
@@ -56,15 +83,30 @@ fn overestimated_task_completion_is_poll_quantized() {
     let mut m = machine();
     let mut job = JobBuilder::new(0);
     // Actual ~0.6 ms of compute, estimate 50 ms.
-    let t = job.task("x", "KNN-ZCU9", ComputeLevel::NearStorage, ms(50), vec![], vec![], vec![]);
-    m.submit(job.build(), HashMap::from([(t, TaskWork::compute(100_000_000))]));
+    let t = job.task(
+        "x",
+        "KNN-ZCU9",
+        ComputeLevel::NearStorage,
+        ms(50),
+        vec![],
+        vec![],
+        vec![],
+    );
+    m.submit(
+        job.build(),
+        HashMap::from([(t, TaskWork::compute(100_000_000))]),
+    );
     let r = m.run();
     assert!(
         r.makespan >= ms(50),
         "completion observed before the first status poll: {}",
         r.makespan
     );
-    assert!(r.makespan < ms(60), "poll overhead exploded: {}", r.makespan);
+    assert!(
+        r.makespan < ms(60),
+        "poll overhead exploded: {}",
+        r.makespan
+    );
 }
 
 /// Dependent tasks at different levels trigger exactly the DMA transfers
@@ -112,7 +154,8 @@ fn inter_level_dependencies_move_data_once() {
 #[test]
 fn level_parallelism_matches_instance_count() {
     let run = |units: usize| -> f64 {
-        let mut m = Machine::new(SystemConfig::paper_table2().with_near_storage(units));
+        let mut m = MachineBlueprint::new(SystemConfig::paper_table2().with_near_storage(units))
+            .instantiate();
         let mut job = JobBuilder::new(0);
         let mut works = HashMap::new();
         for i in 0..4 {
@@ -143,8 +186,19 @@ fn one_interrupt_per_job() {
     let mut m = machine();
     for b in 0..5 {
         let mut job = JobBuilder::new(b);
-        let t = job.task("w", "GEMM-VU9P", ComputeLevel::OnChip, ms(2), vec![], vec![], vec![]);
-        m.submit(job.build(), HashMap::from([(t, TaskWork::stream(1_000_000, 16 << 20))]));
+        let t = job.task(
+            "w",
+            "GEMM-VU9P",
+            ComputeLevel::OnChip,
+            ms(2),
+            vec![],
+            vec![],
+            vec![],
+        );
+        m.submit(
+            job.build(),
+            HashMap::from([(t, TaskWork::stream(1_000_000, 16 << 20))]),
+        );
     }
     let r = m.run();
     assert_eq!(r.jobs, 5);
@@ -158,9 +212,21 @@ fn one_interrupt_per_job() {
 fn command_latency_floor() {
     let mut m = machine();
     let mut job = JobBuilder::new(0);
-    let t = job.task("nop", "GEMM-VU9P", ComputeLevel::OnChip, ms(1), vec![], vec![], vec![]);
+    let t = job.task(
+        "nop",
+        "GEMM-VU9P",
+        ComputeLevel::OnChip,
+        ms(1),
+        vec![],
+        vec![],
+        vec![],
+    );
     m.submit(job.build(), HashMap::from([(t, TaskWork::compute(0))]));
     let r = m.run();
     let floor = m.config().gam.command_latency;
-    assert!(r.makespan >= floor, "makespan {} below command latency", r.makespan);
+    assert!(
+        r.makespan >= floor,
+        "makespan {} below command latency",
+        r.makespan
+    );
 }

@@ -2,10 +2,16 @@
 //! saturation and scaling properties that must *emerge* from the substrate
 //! models rather than being scripted.
 
-use reach::{Level, Machine, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork};
-use reach_cbir::experiments::machine_with;
+use reach::{
+    Level, Machine, MachineBlueprint, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork,
+};
+use reach_cbir::blueprint_with;
 use reach_cbir::pipeline::CbirStage;
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
+
+fn machine_with(nm: usize, ns: usize) -> Machine {
+    blueprint_with(nm, ns).instantiate()
+}
 
 fn rerank_only(nm: usize, ns: usize, mapping: CbirMapping) -> f64 {
     let w = CbirWorkload::paper_setup();
@@ -35,7 +41,11 @@ fn near_memory_rerank_saturates_host_io() {
     let t8 = rerank_only(8, 4, CbirMapping::AllNearMemory);
     let t16 = rerank_only(16, 4, CbirMapping::AllNearMemory);
     let t32 = rerank_only(32, 4, CbirMapping::AllNearMemory);
-    assert!(t16 / t8 > 0.6, "8->16 should be mostly flat: {:.2}", t16 / t8);
+    assert!(
+        t16 / t8 > 0.6,
+        "8->16 should be mostly flat: {:.2}",
+        t16 / t8
+    );
     assert!(t32 / t16 > 0.8, "16->32 must be flat: {:.2}", t32 / t16);
 }
 
@@ -55,7 +65,7 @@ fn streams_are_cheapest_near_their_data() {
         cfg.set_arg(acc, 0, data);
         let mut p = Pipeline::new(cfg);
         p.call(acc, TaskWork::stream(1 << 20, 1 << 30), "scan");
-        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut m = MachineBlueprint::paper().instantiate();
         p.run(&mut m, 1).makespan.as_secs_f64()
     };
     let onchip = run(Level::OnChip);
@@ -135,7 +145,12 @@ fn energy_ledger_is_consistent() {
     let w = CbirWorkload::paper_setup();
     for mapping in CbirMapping::ALL {
         let r = CbirPipeline::new(w, mapping).run(&mut machine_with(4, 4), 2);
-        let by_stage: f64 = r.ledger.stages().iter().map(|s| r.ledger.stage_total(s)).sum();
+        let by_stage: f64 = r
+            .ledger
+            .stages()
+            .iter()
+            .map(|s| r.ledger.stage_total(s))
+            .sum();
         let by_component: f64 = reach::SystemComponent::ALL
             .iter()
             .map(|&c| r.ledger.component_total(c))
@@ -161,7 +176,11 @@ fn workload_scaling_is_sane() {
         let tb = CbirPipeline::new(big, mapping)
             .run(&mut machine_with(4, 4), 1)
             .makespan;
-        assert!(tb > ts, "{}: batch 32 ({tb}) not slower than batch 8 ({ts})", mapping.name());
+        assert!(
+            tb > ts,
+            "{}: batch 32 ({tb}) not slower than batch 8 ({ts})",
+            mapping.name()
+        );
     }
 }
 
@@ -177,10 +196,10 @@ fn reconfiguration_delay_is_billed() {
     let w = CbirWorkload::paper_setup();
     // All-on-chip swaps CNN -> GEMM -> KNN on the single slot every batch.
     let fast = CbirPipeline::new(w, CbirMapping::AllOnChip)
-        .run(&mut Machine::new(cfg_fast), 2)
+        .run(&mut MachineBlueprint::new(cfg_fast).instantiate(), 2)
         .makespan;
     let slow = CbirPipeline::new(w, CbirMapping::AllOnChip)
-        .run(&mut Machine::new(cfg_slow), 2)
+        .run(&mut MachineBlueprint::new(cfg_slow).instantiate(), 2)
         .makespan;
     let delta_ms = slow.as_ms_f64() - fast.as_ms_f64();
     assert!(
@@ -194,7 +213,13 @@ fn reconfiguration_delay_is_billed() {
 #[test]
 fn broadcast_transfers_once_per_level() {
     let mut cfg = ReachConfig::new();
-    let feats = cfg.create_stream(Level::OnChip, Level::NearStor, StreamType::Broadcast, 1 << 20, 2);
+    let feats = cfg.create_stream(
+        Level::OnChip,
+        Level::NearStor,
+        StreamType::Broadcast,
+        1 << 20,
+        2,
+    );
     let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
     cfg.set_arg(cnn, 0, feats);
     let mut consumers = Vec::new();
@@ -208,7 +233,7 @@ fn broadcast_transfers_once_per_level() {
     for &k in &consumers {
         p.call(k, TaskWork::stream(1_000, 1 << 20), "consume");
     }
-    let mut m = Machine::new(SystemConfig::paper_table2());
+    let mut m = MachineBlueprint::paper().instantiate();
     let r = p.run(&mut m, 1);
     assert_eq!(r.gam.dmas, 1, "broadcast must share one DMA per level");
 }

@@ -2,7 +2,7 @@
 //! for *every* workload shape, not just the paper's.
 
 use proptest::prelude::*;
-use reach::{ComputeLevel, Machine, SystemConfig, TaskWork};
+use reach::{ComputeLevel, MachineBlueprint, TaskWork};
 use reach_gam::JobBuilder;
 use reach_sim::{Bandwidth, BandwidthResource, SerialResource, SimDuration, SimTime};
 use std::collections::HashMap;
@@ -68,7 +68,7 @@ proptest! {
     fn machine_completes_random_task_chains(
         specs in proptest::collection::vec((0usize..3, 1u64..200), 1..12)
     ) {
-        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut m = MachineBlueprint::paper().instantiate();
         let mut job = JobBuilder::new(0);
         let mut works = HashMap::new();
         let mut prev: Option<reach_gam::TaskId> = None;
@@ -105,7 +105,7 @@ proptest! {
     #[test]
     fn more_work_is_never_faster(base_mmacs in 1u64..1_000) {
         let run = |mmacs: u64| {
-            let mut m = Machine::new(SystemConfig::paper_table2());
+            let mut m = MachineBlueprint::paper().instantiate();
             let mut job = JobBuilder::new(0);
             let t = job.task("w", "VGG16-VU9P", ComputeLevel::OnChip,
                 SimDuration::from_ms(1), vec![], vec![], vec![]);
@@ -128,7 +128,7 @@ proptest! {
             1 => (ComputeLevel::NearMemory, "GEMM-ZCU9"),
             _ => (ComputeLevel::NearStorage, "GEMM-ZCU9"),
         };
-        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut m = MachineBlueprint::paper().instantiate();
         let mut job = JobBuilder::new(0);
         let t = job.task("s", template, level, SimDuration::from_ms(1), vec![], vec![], vec![]);
         m.submit(job.build(), HashMap::from([
@@ -149,7 +149,7 @@ proptest! {
 #[test]
 fn full_stack_determinism() {
     let build = || {
-        let mut m = Machine::new(SystemConfig::paper_table2());
+        let mut m = MachineBlueprint::paper().instantiate();
         let mut job = JobBuilder::new(0);
         let mut works = HashMap::new();
         let buf = job.buffer("db", 32 << 20, Some(ComputeLevel::NearStorage));

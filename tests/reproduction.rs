@@ -4,15 +4,18 @@
 //! here against the acceptance bands recorded in DESIGN.md. If a model or
 //! calibration change drifts outside a band, this suite fails.
 
+use reach::ComputeLevel;
 use reach_cbir::experiments as exp;
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
-use reach::ComputeLevel;
 
 /// "ReACH achieves 4.5x throughput gain" — band [3.5, 5.5].
 #[test]
 fn headline_throughput_gain() {
     let rows = exp::fig13();
-    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    let reach = rows
+        .iter()
+        .find(|r| r.mapping == CbirMapping::Proper)
+        .unwrap();
     assert!(
         reach.throughput_gain > 3.5 && reach.throughput_gain < 5.5,
         "throughput gain {:.2}x outside [3.5, 5.5] (paper: 4.5x)",
@@ -24,7 +27,10 @@ fn headline_throughput_gain() {
 #[test]
 fn headline_latency_gain() {
     let rows = exp::fig13();
-    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    let reach = rows
+        .iter()
+        .find(|r| r.mapping == CbirMapping::Proper)
+        .unwrap();
     assert!(
         reach.latency_gain > 1.8 && reach.latency_gain < 2.8,
         "latency gain {:.2}x outside [1.8, 2.8] (paper: 2.2x)",
@@ -36,8 +42,14 @@ fn headline_latency_gain() {
 #[test]
 fn headline_energy_reduction() {
     let rows = exp::fig13();
-    let base = rows.iter().find(|r| r.mapping == CbirMapping::AllOnChip).unwrap();
-    let reach = rows.iter().find(|r| r.mapping == CbirMapping::Proper).unwrap();
+    let base = rows
+        .iter()
+        .find(|r| r.mapping == CbirMapping::AllOnChip)
+        .unwrap();
+    let reach = rows
+        .iter()
+        .find(|r| r.mapping == CbirMapping::Proper)
+        .unwrap();
     let reduction = 1.0 - reach.energy_total / base.energy_total;
     assert!(
         reduction > 0.45 && reduction < 0.60,
@@ -81,8 +93,14 @@ fn fig9_feature_extraction_bands() {
             "{level} x1 runtime {:.1} outside the paper's 7-10x",
             one.runtime_norm
         );
-        assert!(get(level, 8).runtime_norm < 1.05, "{level} x8 should reach on-chip");
-        assert!(get(level, 16).runtime_norm < 1.0, "{level} x16 should surpass on-chip");
+        assert!(
+            get(level, 8).runtime_norm < 1.05,
+            "{level} x8 should reach on-chip"
+        );
+        assert!(
+            get(level, 16).runtime_norm < 1.0,
+            "{level} x16 should surpass on-chip"
+        );
     }
     assert!(
         rows.iter().all(|r| r.energy_norm > 0.95),
@@ -106,7 +124,10 @@ fn fig10_shortlist_bands() {
             .find(|r| r.level == ComputeLevel::NearStorage && r.instances == n)
             .unwrap()
     };
-    assert!(nm(1).runtime_norm > 1.0, "NM x1 must be slower than on-chip");
+    assert!(
+        nm(1).runtime_norm > 1.0,
+        "NM x1 must be slower than on-chip"
+    );
     assert!(nm(2).runtime_norm < 1.0, "NM x2 must beat on-chip");
     let best_nm_energy = (1..=16)
         .filter_map(|n| {
@@ -147,9 +168,19 @@ fn fig11_rerank_bands() {
     };
     // Scaling up to 8, then a plateau.
     assert!(nm(8) < nm(4) && nm(4) < nm(2));
-    assert!(nm(16) / nm(8) > 0.7, "NM 8->16 should plateau ({} -> {})", nm(8), nm(16));
+    assert!(
+        nm(16) / nm(8) > 0.7,
+        "NM 8->16 should plateau ({} -> {})",
+        nm(8),
+        nm(16)
+    );
     // Near-storage keeps scaling 8->16.
-    assert!(ns(16) / ns(8) < 0.7, "NS 8->16 should keep scaling ({} -> {})", ns(8), ns(16));
+    assert!(
+        ns(16) / ns(8) < 0.7,
+        "NS 8->16 should keep scaling ({} -> {})",
+        ns(8),
+        ns(16)
+    );
     // Energy saving moving rerank off-chip.
     let best_ns_energy = rows
         .iter()
@@ -212,7 +243,7 @@ fn experiments_are_deterministic() {
 fn throughput_tracks_longest_stage() {
     let w = CbirWorkload::paper_setup();
     let p = CbirPipeline::new(w, CbirMapping::Proper);
-    let r = p.run(&mut exp::machine_with(4, 4), 12);
+    let r = p.run(&mut reach_cbir::blueprint_with(4, 4).instantiate(), 12);
     let longest_stage_ms = r
         .stages
         .iter()

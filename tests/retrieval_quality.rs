@@ -58,9 +58,15 @@ fn pipeline_recall_at_small_nprobe() {
 #[test]
 fn exhaustive_probe_is_exact() {
     let f = fixture();
-    let got = f.index.search(&f.db, &f.queries, f.index.clusters(), 10, None);
+    let got = f
+        .index
+        .search(&f.db, &f.queries, f.index.clusters(), 10, None);
     let r = recall(&got, &f.truth, 10);
-    assert!((r.recall_at_k - 1.0).abs() < 1e-12, "recall {}", r.recall_at_k);
+    assert!(
+        (r.recall_at_k - 1.0).abs() < 1e-12,
+        "recall {}",
+        r.recall_at_k
+    );
 }
 
 /// Recall is monotone in the probe count (more clusters scanned can only
@@ -85,7 +91,11 @@ fn recall_monotone_in_nprobe() {
 #[test]
 fn candidate_cap_tradeoff() {
     let f = fixture();
-    let uncapped = recall(&f.index.search(&f.db, &f.queries, 8, 10, None), &f.truth, 10);
+    let uncapped = recall(
+        &f.index.search(&f.db, &f.queries, 8, 10, None),
+        &f.truth,
+        10,
+    );
     let capped = recall(
         &f.index.search(&f.db, &f.queries, 8, 10, Some(4096)),
         &f.truth,

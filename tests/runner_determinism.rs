@@ -1,0 +1,87 @@
+//! The runner-layer contract, end to end: fanning scenarios across threads
+//! must be unobservable in the results. A mixed batch of figure-8,
+//! figure-13 and ablation scenarios is executed sequentially, with one
+//! worker, and with four workers — every report must come back in
+//! submission order and render byte-identically.
+
+use reach::{MachineBlueprint, Scenario, ScenarioExecutor, SequentialExecutor, SimDuration};
+use reach_bench::ScenarioRunner;
+use reach_cbir::{blueprint_with, CbirMapping, CbirPipeline, CbirScenario, CbirWorkload};
+
+/// The mixed batch: fig8's on-chip energy point, fig13's four end-to-end
+/// mappings, and a poll-interval ablation point on a modified machine.
+fn mixed_batch() -> Vec<Box<dyn Scenario>> {
+    let w = CbirWorkload::paper_setup();
+    let mut batch: Vec<Box<dyn Scenario>> = vec![Box::new(CbirScenario::full(
+        "fig8/on-chip",
+        blueprint_with(4, 4),
+        CbirPipeline::new(w, CbirMapping::AllOnChip),
+        1,
+    ))];
+    for mapping in CbirMapping::ALL {
+        batch.push(Box::new(CbirScenario::full(
+            format!("fig13/{}", mapping.name()),
+            blueprint_with(4, 4),
+            CbirPipeline::new(w, mapping),
+            8,
+        )));
+    }
+    let coarse_poll = MachineBlueprint::paper()
+        .map_config(|cfg| cfg.gam.min_poll_interval = SimDuration::from_ms(5));
+    batch.push(Box::new(CbirScenario::full(
+        "ablation/poll-5ms",
+        coarse_poll,
+        CbirPipeline::new(w, CbirMapping::Proper),
+        4,
+    )));
+    batch
+}
+
+fn rendered(results: &[reach::ScenarioResult]) -> Vec<(String, String)> {
+    results
+        .iter()
+        .map(|r| (r.label.clone(), r.report.to_string()))
+        .collect()
+}
+
+#[test]
+fn parallel_runner_is_byte_identical_to_sequential() {
+    let reference = rendered(&SequentialExecutor.run_all(mixed_batch()));
+    let one_worker = rendered(&ScenarioRunner::new(1).run_all(mixed_batch()));
+    let four_workers = rendered(&ScenarioRunner::new(4).run_all(mixed_batch()));
+
+    assert_eq!(reference.len(), mixed_batch().len());
+    assert_eq!(reference, one_worker, "one worker diverged from sequential");
+    assert_eq!(
+        reference, four_workers,
+        "four workers diverged from sequential"
+    );
+}
+
+#[test]
+fn repeated_parallel_runs_replay_bit_for_bit() {
+    let first = rendered(&ScenarioRunner::new(4).run_all(mixed_batch()));
+    let second = rendered(&ScenarioRunner::new(4).run_all(mixed_batch()));
+    assert_eq!(first, second);
+}
+
+#[test]
+fn rendered_figures_match_across_job_counts() {
+    let seq = SequentialExecutor;
+    let par = ScenarioRunner::new(4);
+    for (name, render) in [
+        (
+            "fig8",
+            reach_bench::render_fig8 as fn(&dyn ScenarioExecutor) -> String,
+        ),
+        ("fig13", reach_bench::render_fig13),
+        ("ablation-poll", reach_bench::render_ablation_poll),
+        ("extension-corun", reach_bench::render_extension_corun),
+    ] {
+        assert_eq!(
+            render(&seq),
+            render(&par),
+            "{name} differs across job counts"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A smoke-run harness, not a statistical one: each `bench_function`
+//! body executes its routine once and prints the elapsed wall time.
+//! Supports `criterion_group!`/`criterion_main!`, [`Criterion`],
+//! benchmark groups, [`Throughput`] and [`black_box`].
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// Entry point handed to each bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 1,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke harness always runs
+    /// each routine once.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration workload for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        elapsed_ns: 0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed_ns as f64 / bencher.iterations.max(1) as f64;
+    let rate = throughput.map(|t| t.describe(per_iter)).unwrap_or_default();
+    println!("  bench {name}: {:.3} ms/iter{rate}", per_iter / 1.0e6);
+}
+
+/// Timer handle passed to each benchmark routine.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`. The smoke harness runs it exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iterations += 1;
+    }
+}
+
+/// Per-iteration workload, used to annotate reported timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn describe(self, per_iter_ns: f64) -> String {
+        let seconds = (per_iter_ns / 1.0e9).max(1.0e-12);
+        match self {
+            Throughput::Elements(n) => {
+                format!(", {:.0} elem/s", n as f64 / seconds)
+            }
+            Throughput::Bytes(n) => {
+                format!(", {:.1} MiB/s", n as f64 / seconds / (1024.0 * 1024.0))
+            }
+        }
+    }
+}
+
+/// Collects bench functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

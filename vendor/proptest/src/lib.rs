@@ -1,0 +1,89 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset of the proptest 1.x API this workspace uses: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]` block
+//! attribute), [`prop_assert!`]/[`prop_assert_eq!`], range / tuple /
+//! `any::<T>()` strategies and [`collection::vec`]. Cases are generated
+//! deterministically from a per-test seed derived from the test name;
+//! there is no shrinking — a failing case prints its inputs instead.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::test_runner::case_seed(::std::stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __vals = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __shown = ::std::format!("{:?}", __vals);
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let ($($arg,)+) = __vals;
+                        $body
+                    }),
+                );
+                if let ::std::result::Result::Err(__panic) = __result {
+                    ::std::eprintln!(
+                        "proptest {}: failing case {}/{}, inputs = {}",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __shown,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { ::std::assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { ::std::assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        ::std::assert_eq!($left, $right, $($fmt)+)
+    };
+}

@@ -1,0 +1,5 @@
+//! Glob-import surface matching `proptest::prelude`.
+
+pub use crate::strategy::{any, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, proptest};

@@ -1,0 +1,70 @@
+//! Value-generation strategies.
+
+use rand::distributions::{Distribution, Standard};
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + std::fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates an arbitrary value of `T` via the [`Standard`] distribution.
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: std::fmt::Debug,
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
