@@ -98,6 +98,9 @@ pub struct KernelSpec {
     /// this is the binding constraint the paper observes: a narrow embedded
     /// datapath caps how fast the kernel can drink from its data medium.
     pub io_bytes_per_cycle: f64,
+    /// Number of argument slots the kernel's driver signature exposes —
+    /// the arity `SetArg` calls are validated against.
+    pub arg_slots: usize,
 }
 
 impl KernelSpec {
@@ -177,6 +180,7 @@ mod tests {
             mac_efficiency: 0.273,
             pipeline_depth: 120,
             io_bytes_per_cycle: 0.0,
+            arg_slots: 3,
         }
     }
 
@@ -192,6 +196,7 @@ mod tests {
             mac_efficiency: 0.273,
             pipeline_depth: 120,
             io_bytes_per_cycle: 0.0,
+            arg_slots: 3,
         }
     }
 

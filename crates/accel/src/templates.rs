@@ -69,6 +69,7 @@ impl TemplateRegistry {
             mac_efficiency: 0.85,
             pipeline_depth: 128,
             io_bytes_per_cycle: 0.0,
+            arg_slots: 3,
         });
         reg.register(KernelSpec {
             name: "GEMM-VU9P",
@@ -81,6 +82,7 @@ impl TemplateRegistry {
             mac_efficiency: 0.80,
             pipeline_depth: 96,
             io_bytes_per_cycle: 128.0,
+            arg_slots: 3,
         });
         reg.register(KernelSpec {
             name: "KNN-VU9P",
@@ -93,6 +95,7 @@ impl TemplateRegistry {
             mac_efficiency: 0.5,
             pipeline_depth: 64,
             io_bytes_per_cycle: 7.25,
+            arg_slots: 3,
         });
 
         // --- Embedded (Zynq UltraScale+ ZU9EG), near-memory variants ---
@@ -111,6 +114,7 @@ impl TemplateRegistry {
                 mac_efficiency: 0.85,
                 pipeline_depth: 128,
                 io_bytes_per_cycle: 0.0,
+                arg_slots: 3,
             });
             reg.register(KernelSpec {
                 name: "GEMM-ZCU9",
@@ -123,6 +127,7 @@ impl TemplateRegistry {
                 mac_efficiency: 0.80,
                 pipeline_depth: 96,
                 io_bytes_per_cycle: 128.0,
+                arg_slots: 3,
             });
             reg.register(KernelSpec {
                 name: "KNN-ZCU9",
@@ -135,6 +140,7 @@ impl TemplateRegistry {
                 mac_efficiency: 0.5,
                 pipeline_depth: 64,
                 io_bytes_per_cycle: 10.0,
+                arg_slots: 3,
             });
         }
         reg

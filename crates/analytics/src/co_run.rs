@@ -8,7 +8,7 @@
 //! buffer-table isolation and per-level queues are meant to bound.
 
 use crate::queries::ScanQuery;
-use crate::templates::analytics_blueprint;
+use crate::templates::{analytics_blueprint, analytics_registry};
 use reach::{
     FnScenario, Level, Pipeline, ReachConfig, Scenario, ScenarioExecutor, SequentialExecutor,
     StreamType, TaskWork,
@@ -67,7 +67,10 @@ fn scan_pipeline(query: &ScanQuery, shards: u64) -> Pipeline {
     let agg = rc.register_acc("AGG-VU9P", Level::OnChip);
     rc.set_arg(agg, 0, survivors);
     rc.set_arg(agg, 1, result);
-    let mut p = Pipeline::new(rc);
+    let mut p = Pipeline::new(
+        rc.build_with(&analytics_registry())
+            .expect("co-run scan config"),
+    );
     for s in scans {
         p.call(
             s,

@@ -8,7 +8,7 @@
 //! aggregate SSD bandwidth and the shared host interface — the
 //! Netezza-style offloading result the paper cites as prior evidence.
 
-use crate::templates::analytics_blueprint;
+use crate::templates::{analytics_blueprint, analytics_registry};
 use reach::{Level, Pipeline, ReachConfig, RunReport, StreamType, TaskWork};
 
 /// Where the scan runs.
@@ -98,8 +98,11 @@ impl ScanQuery {
                 let scan = rc.register_acc("SCAN-VU9P", Level::OnChip);
                 rc.set_arg(scan, 0, table);
                 let agg = rc.register_acc("AGG-VU9P", Level::OnChip);
-                rc.set_arg(agg, 1, result);
-                let mut p = Pipeline::new(rc);
+                rc.set_arg(agg, 0, result);
+                let mut p = Pipeline::new(
+                    rc.build_with(&analytics_registry())
+                        .expect("host scan config"),
+                );
                 p.call(
                     scan,
                     TaskWork::gather(self.scan_macs(), self.table_bytes, 4096),
@@ -134,7 +137,10 @@ impl ScanQuery {
                 let agg = rc.register_acc("AGG-VU9P", Level::OnChip);
                 rc.set_arg(agg, 0, survivors);
                 rc.set_arg(agg, 1, result);
-                let mut p = Pipeline::new(rc);
+                let mut p = Pipeline::new(
+                    rc.build_with(&analytics_registry())
+                        .expect("near-storage scan config"),
+                );
                 for s in scans {
                     p.call(
                         s,

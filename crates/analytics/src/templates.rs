@@ -38,6 +38,7 @@ pub fn analytics_registry() -> TemplateRegistry {
         mac_efficiency: 0.5,
         pipeline_depth: 24,
         io_bytes_per_cycle: 128.0, // 35 GB/s: never the bottleneck on-chip
+        arg_slots: 2,
     });
     for (level, power) in [
         (ComputeLevel::NearMemory, 2.1),
@@ -54,6 +55,7 @@ pub fn analytics_registry() -> TemplateRegistry {
             mac_efficiency: 0.5,
             pipeline_depth: 24,
             io_bytes_per_cycle: 64.0, // 12.8 GB/s: matches one SSD
+            arg_slots: 2,
         });
     }
 
@@ -69,6 +71,7 @@ pub fn analytics_registry() -> TemplateRegistry {
         mac_efficiency: 0.8,
         pipeline_depth: 48,
         io_bytes_per_cycle: 128.0,
+        arg_slots: 2,
     });
     for (level, power) in [
         (ComputeLevel::NearMemory, 3.4),
@@ -85,6 +88,7 @@ pub fn analytics_registry() -> TemplateRegistry {
             mac_efficiency: 0.8,
             pipeline_depth: 48,
             io_bytes_per_cycle: 64.0,
+            arg_slots: 2,
         });
     }
     reg

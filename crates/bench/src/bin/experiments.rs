@@ -4,16 +4,24 @@
 //! cargo run -p reach-bench --bin experiments --release            # everything
 //! cargo run -p reach-bench --bin experiments --release -- fig13  # one id
 //! cargo run -p reach-bench --bin experiments --release -- --jobs 4
+//! cargo run -p reach-bench --bin experiments --release -- \
+//!     fig13 --metrics metrics.json --bench-out BENCH_PR2.json
 //! ```
 //!
 //! `--jobs N` fans each experiment's scenarios across `N` threads via
 //! [`reach_bench::ScenarioRunner`]; the printed rows are byte-identical to
 //! the default sequential run (`--jobs 1`). The wall-clock summary goes to
 //! stderr so stdout stays comparable across job counts.
+//!
+//! `--metrics PATH` writes every executed scenario's machine telemetry
+//! (queue depths, occupancy, link traffic) as `reach-run-metrics-v1` JSON;
+//! `--bench-out PATH` writes per-experiment wall-clock and headline
+//! throughput numbers as `reach-bench-v1` JSON. Both go to files, never to
+//! stdout, so the determinism contract above holds.
 
 use reach::{ScenarioExecutor, SequentialExecutor};
-use reach_bench::runner::CountingExecutor;
-use reach_bench::ScenarioRunner;
+use reach_bench::runner::{CountingExecutor, RecordingExecutor};
+use reach_bench::{BenchEntry, ScenarioRunner};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -22,6 +30,8 @@ fn main() -> ExitCode {
     let renderers = reach_bench::renderers();
 
     let mut jobs = 1usize;
+    let mut metrics_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
     let mut args: Vec<String> = Vec::new();
     let mut it = raw.iter();
     while let Some(a) = it.next() {
@@ -33,6 +43,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+        } else if a == "--metrics" {
+            match it.next() {
+                Some(p) => metrics_path = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--bench-out" {
+            match it.next() {
+                Some(p) => bench_path = Some(p.clone()),
+                None => {
+                    eprintln!("--bench-out needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             args.push(a.clone());
         }
@@ -71,14 +97,25 @@ fn main() -> ExitCode {
     let sequential = SequentialExecutor;
     let runner = ScenarioRunner::new(jobs);
     let inner: &dyn ScenarioExecutor = if jobs == 1 { &sequential } else { &runner };
-    let executor = CountingExecutor::new(inner);
+    let recording = RecordingExecutor::new(inner);
+    let executor = CountingExecutor::new(&recording);
 
     let started = Instant::now();
-    for (i, (_, render)) in selected.iter().enumerate() {
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut captured = Vec::new();
+    for (i, (id, render)) in selected.iter().enumerate() {
         if i > 0 {
             println!();
         }
+        let exp_started = Instant::now();
         print!("{}", render(&executor));
+        let scenarios = recording.drain();
+        captured.extend(scenarios.iter().cloned());
+        entries.push(BenchEntry {
+            id: (*id).to_string(),
+            wall_s: exp_started.elapsed().as_secs_f64(),
+            scenarios,
+        });
     }
     eprintln!(
         "ran {} scenario(s) across {} experiment(s) with {} job(s) in {:.2}s",
@@ -87,5 +124,25 @@ fn main() -> ExitCode {
         jobs,
         started.elapsed().as_secs_f64()
     );
+
+    if let Some(path) = metrics_path {
+        let doc = reach_bench::scenario_metrics_json(&captured);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote telemetry for {} scenario(s) to {path}",
+            captured.len()
+        );
+    }
+    if let Some(path) = bench_path {
+        let doc = reach_bench::bench_report_json(&entries);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote benchmark report to {path}");
+    }
     ExitCode::SUCCESS
 }

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! cargo run -p reach-bench --bin sweep --release -- \
-//!     --nm 2,4,8 --ns 4 --batches 16 --mapping proper --jobs 4
+//!     --nm 2,4,8 --ns 4 --batches 16 --mapping proper --jobs 4 \
+//!     --metrics-dir out/metrics
 //! ```
+//!
+//! With `--metrics-dir DIR`, each grid point drops its machine telemetry
+//! as `DIR/<label>.csv` (one row per metric) for spreadsheet or pandas
+//! post-processing. Stdout stays identical with or without the flag.
 
 use reach_bench::sweep::SweepArgs;
 use std::process::ExitCode;
@@ -18,7 +23,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
                  [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
-                 [--jobs N]"
+                 [--jobs N] [--metrics-dir DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -39,6 +44,20 @@ fn main() -> ExitCode {
         println!();
         println!("{}", r.label);
         println!("{}", r.report);
+    }
+    if let Some(dir) = &args.metrics_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for r in &results {
+            let path = format!("{dir}/{}.csv", reach_bench::label_file_stem(&r.label));
+            if let Err(e) = std::fs::write(&path, r.report.metrics.to_csv()) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("wrote {} telemetry CSV(s) to {dir}", results.len());
     }
     eprintln!(
         "ran {} scenario(s) with {} job(s) in {:.2}s",

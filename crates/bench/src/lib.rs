@@ -13,10 +13,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod runner;
 pub mod sweep;
 
-pub use runner::ScenarioRunner;
+pub use export::{bench_report_json, label_file_stem, scenario_metrics_json, BenchEntry};
+pub use runner::{CapturedScenario, RecordingExecutor, ScenarioRunner};
 
 use reach::{ScenarioExecutor, SystemComponent};
 use reach_cbir::experiments as exp;

@@ -14,7 +14,7 @@
 //! the scenarios themselves and their finished [`ScenarioResult`]s cross
 //! thread boundaries.
 
-use reach::{Scenario, ScenarioExecutor, ScenarioResult};
+use reach::{MetricsSnapshot, Scenario, ScenarioExecutor, ScenarioResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -108,6 +108,76 @@ impl ScenarioExecutor for CountingExecutor<'_> {
     fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
         self.count.fetch_add(scenarios.len(), Ordering::Relaxed);
         self.inner.run_all(scenarios)
+    }
+}
+
+/// The headline numbers and telemetry snapshot of one finished scenario,
+/// captured by a [`RecordingExecutor`].
+#[derive(Clone, Debug)]
+pub struct CapturedScenario {
+    /// The scenario's label (e.g. `"fig13/ReACH"`).
+    pub label: String,
+    /// Simulated makespan in picoseconds.
+    pub makespan_ps: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// The machine-wide telemetry snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl CapturedScenario {
+    /// Jobs per simulated second (0.0 for an empty run).
+    #[must_use]
+    pub fn throughput_jobs_per_sec(&self) -> f64 {
+        if self.makespan_ps == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / (self.makespan_ps as f64 * 1e-12)
+        }
+    }
+}
+
+/// Wraps an executor and captures every finished scenario's label, headline
+/// numbers and telemetry snapshot — in submission order, so the capture
+/// stream is byte-identical regardless of the inner executor's job count.
+pub struct RecordingExecutor<'a> {
+    inner: &'a dyn ScenarioExecutor,
+    captured: Mutex<Vec<CapturedScenario>>,
+}
+
+impl<'a> RecordingExecutor<'a> {
+    /// Records scenarios delegated to `inner`.
+    #[must_use]
+    pub fn new(inner: &'a dyn ScenarioExecutor) -> Self {
+        RecordingExecutor {
+            inner,
+            captured: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes everything captured since the last drain.
+    #[must_use]
+    pub fn drain(&self) -> Vec<CapturedScenario> {
+        std::mem::take(&mut *self.captured.lock().expect("capture buffer poisoned"))
+    }
+}
+
+impl ScenarioExecutor for RecordingExecutor<'_> {
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
+        let results = self.inner.run_all(scenarios);
+        let mut captured = self.captured.lock().expect("capture buffer poisoned");
+        for r in &results {
+            captured.push(CapturedScenario {
+                label: r.label.clone(),
+                makespan_ps: r.report.makespan.as_ps(),
+                jobs: r.report.jobs,
+                energy_j: r.report.total_energy_j(),
+                metrics: r.report.metrics.clone(),
+            });
+        }
+        results
     }
 }
 

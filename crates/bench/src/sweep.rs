@@ -30,6 +30,8 @@ pub struct SweepArgs {
     pub sequential: bool,
     /// Worker threads for the sweep grid.
     pub jobs: usize,
+    /// Directory to drop one per-point telemetry CSV into, if set.
+    pub metrics_dir: Option<String>,
 }
 
 impl Default for SweepArgs {
@@ -43,6 +45,7 @@ impl Default for SweepArgs {
             batch_size: 16,
             sequential: false,
             jobs: 1,
+            metrics_dir: None,
         }
     }
 }
@@ -65,7 +68,7 @@ impl SweepArgs {
     /// Accepted keys: `--nm`, `--ns` (both accept comma-separated lists),
     /// `--batches`, `--batch-size`, `--candidates`,
     /// `--mapping onchip|near-mem|near-stor|proper`, `--sequential`,
-    /// `--jobs`.
+    /// `--jobs`, `--metrics-dir DIR` (one telemetry CSV per grid point).
     ///
     /// # Errors
     ///
@@ -97,6 +100,7 @@ impl SweepArgs {
                     out.candidates = take_usize(take("--candidates")?, "--candidates")?;
                 }
                 "--jobs" => out.jobs = take_usize(take("--jobs")?, "--jobs")?,
+                "--metrics-dir" => out.metrics_dir = Some(take("--metrics-dir")?.clone()),
                 "--sequential" => out.sequential = true,
                 "--mapping" => {
                     let v = take("--mapping")?;
@@ -178,6 +182,13 @@ mod tests {
         assert_eq!(a.ns, vec![1, 2]);
         assert_eq!(a.jobs, 3);
         assert_eq!(a.scenarios().len(), 6);
+    }
+
+    #[test]
+    fn parses_metrics_dir() {
+        let a = parse(&["--metrics-dir", "out/metrics"]).unwrap();
+        assert_eq!(a.metrics_dir.as_deref(), Some("out/metrics"));
+        assert!(parse(&["--metrics-dir"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,20 @@
 //! paper's portability claim, executed.
 
 use crate::workload::CbirWorkload;
-use reach::{ExecMode, Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, TaskWork};
+use reach::api::Acc;
+use reach::{
+    Arg, ExecMode, Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, TaskWork,
+};
+
+/// Binds the present arguments to consecutive slots starting at 0. Stage
+/// subsets (e.g. rerank alone) drop leading streams; compacting keeps the
+/// binding a clean prefix of the kernel signature, which is what
+/// `ReachConfig::build` demands.
+fn bind_args(cfg: &mut ReachConfig, acc: Acc, args: &[Option<Arg>]) {
+    for (slot, arg) in args.iter().flatten().enumerate() {
+        cfg.set_arg(acc, slot, *arg);
+    }
+}
 
 /// Raw bytes of one 224x224 RGB query image shipped from the host.
 pub const IMAGE_BYTES: u64 = 224 * 224 * 3;
@@ -240,11 +253,15 @@ impl CbirPipeline {
             if fe_level == Level::OnChip {
                 // One batched instance, parameters in on-chip SRAM.
                 let acc = cfg.register_acc(template, fe_level);
-                cfg.set_arg(acc, 0, input.expect("fe stage has input"));
-                cfg.set_arg(acc, 1, params.expect("fe stage has params"));
-                if let Some(f) = features {
-                    cfg.set_arg(acc, 2, f);
-                }
+                bind_args(
+                    &mut cfg,
+                    acc,
+                    &[
+                        Some(input.expect("fe stage has input").into()),
+                        Some(params.expect("fe stage has params").into()),
+                        features.map(Arg::from),
+                    ],
+                );
                 pipeline_calls.push((
                     acc,
                     TaskWork::compute(w.feature_macs()),
@@ -257,11 +274,15 @@ impl CbirPipeline {
                 let accs: Vec<_> = (0..n)
                     .map(|_| {
                         let acc = cfg.register_acc(template, fe_level);
-                        cfg.set_arg(acc, 0, input.expect("fe stage has input"));
-                        cfg.set_arg(acc, 1, params.expect("fe stage has params"));
-                        if let Some(f) = features {
-                            cfg.set_arg(acc, 2, f);
-                        }
+                        bind_args(
+                            &mut cfg,
+                            acc,
+                            &[
+                                Some(input.expect("fe stage has input").into()),
+                                Some(params.expect("fe stage has params").into()),
+                                features.map(Arg::from),
+                            ],
+                        );
                         acc
                     })
                     .collect();
@@ -281,13 +302,15 @@ impl CbirPipeline {
             let template = template_for(CbirStage::ShortList, sl_level);
             if sl_level == Level::OnChip {
                 let acc = cfg.register_acc(template, sl_level);
-                if let Some(f) = features {
-                    cfg.set_arg(acc, 0, f);
-                }
-                cfg.set_arg(acc, 1, centroid_store.expect("sl stage has store"));
-                if let Some(s) = shortlists {
-                    cfg.set_arg(acc, 2, s);
-                }
+                bind_args(
+                    &mut cfg,
+                    acc,
+                    &[
+                        features.map(Arg::from),
+                        Some(centroid_store.expect("sl stage has store").into()),
+                        shortlists.map(Arg::from),
+                    ],
+                );
                 pipeline_calls.push((
                     acc,
                     TaskWork::stream(w.shortlist_macs(), w.onchip_sl_traffic()),
@@ -300,13 +323,15 @@ impl CbirPipeline {
                 let shard = w.centroid_store_bytes / n as u64;
                 for i in 0..n {
                     let acc = cfg.register_acc(template, sl_level);
-                    if let Some(f) = features {
-                        cfg.set_arg(acc, 0, f);
-                    }
-                    cfg.set_arg(acc, 1, centroid_store.expect("sl stage has store"));
-                    if let Some(s) = shortlists {
-                        cfg.set_arg(acc, 2, s);
-                    }
+                    bind_args(
+                        &mut cfg,
+                        acc,
+                        &[
+                            features.map(Arg::from),
+                            Some(centroid_store.expect("sl stage has store").into()),
+                            shortlists.map(Arg::from),
+                        ],
+                    );
                     let _ = i;
                     pipeline_calls.push((
                         acc,
@@ -331,13 +356,15 @@ impl CbirPipeline {
             };
             for i in 0..shards {
                 let acc = cfg.register_acc(template, rr_level);
-                if let Some(s) = shortlists {
-                    cfg.set_arg(acc, 0, s);
-                }
-                cfg.set_arg(acc, 1, db.expect("rerank stage has db"));
-                if let Some(r) = result {
-                    cfg.set_arg(acc, 2, r);
-                }
+                bind_args(
+                    &mut cfg,
+                    acc,
+                    &[
+                        shortlists.map(Arg::from),
+                        Some(db.expect("rerank stage has db").into()),
+                        result.map(Arg::from),
+                    ],
+                );
                 let _ = i;
                 pipeline_calls.push((
                     acc,
@@ -351,7 +378,10 @@ impl CbirPipeline {
             }
         }
 
-        let mut pipeline = Pipeline::new(cfg);
+        let mut pipeline = Pipeline::new(
+            cfg.build_with(machine.registry())
+                .expect("CBIR mapping produced an invalid configuration"),
+        );
         for (acc, work, stage) in pipeline_calls {
             pipeline.call(acc, work, stage.label());
         }

@@ -18,6 +18,13 @@
 //! or the proper hierarchical mapping), which is how the paper's Figure 12
 //! and Figure 13 comparisons are produced.
 //!
+//! A finished configuration is checked **before** anything runs:
+//! [`ReachConfig::build`] resolves every template, checks each argument
+//! binding against the kernel's driver arity and each stream endpoint
+//! against the accelerator's placement, and returns a [`ValidatedConfig`]
+//! (or a typed [`ConfigError`]). [`Pipeline::new`] takes the validated
+//! form, so a mis-wired `config.h` fails at build time, not mid-run.
+//!
 //! # Example
 //!
 //! ```
@@ -34,7 +41,7 @@
 //! let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
 //! cfg.set_arg(knn, 0, feats);
 //!
-//! let mut pipeline = Pipeline::new(cfg);
+//! let mut pipeline = Pipeline::new(cfg.build().expect("valid config"));
 //! pipeline.call(cnn, TaskWork::compute(124_000_000_000), "feature-extraction");
 //! pipeline.call(knn, TaskWork::gather(1_000_000, 256 << 20, 4096), "rerank");
 //!
@@ -46,7 +53,7 @@
 use crate::machine::Machine;
 use crate::report::RunReport;
 use crate::work::TaskWork;
-use reach_accel::ComputeLevel;
+use reach_accel::{ComputeLevel, KernelSpec, TemplateRegistry};
 use reach_gam::{JobBuilder, TaskId};
 use reach_sim::SimDuration;
 use std::collections::HashMap;
@@ -144,11 +151,140 @@ impl From<Stream> for Arg {
     }
 }
 
+/// An argument slot in a kernel's driver signature.
+///
+/// Slots are validated against the template's arity when the configuration
+/// is [built](ReachConfig::build): a slot at or past the kernel's
+/// `arg_slots` is a [`ConfigError::ArgOutOfRange`] instead of a silent
+/// misbinding. Plain `usize` indices convert implicitly, so
+/// `cfg.set_arg(acc, 0, buf)` keeps reading like Listing 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArgSlot(usize);
+
+impl ArgSlot {
+    /// Slot with the given zero-based index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ArgSlot(index)
+    }
+
+    /// Zero-based index of the slot.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ArgSlot {
+    fn from(index: usize) -> ArgSlot {
+        ArgSlot(index)
+    }
+}
+
+impl fmt::Display for ArgSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arg{}", self.0)
+    }
+}
+
+/// Everything [`ReachConfig::build`] can reject. Each variant corresponds
+/// to a distinct way a `config.h` can be mis-wired; none of them survive
+/// to run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No template with this name is registered at the accelerator's level.
+    UnknownTemplate {
+        /// The requested template name.
+        template: String,
+        /// The requested placement.
+        level: Level,
+    },
+    /// An accelerator was registered at [`Level::Cpu`].
+    CpuAccelerator {
+        /// The requested template name.
+        template: String,
+    },
+    /// A binding targets a slot at or past the kernel's driver arity.
+    ArgOutOfRange {
+        /// The accelerator's template.
+        template: String,
+        /// The offending slot index.
+        slot: usize,
+        /// The kernel's arity (`arg_slots`).
+        arity: usize,
+    },
+    /// Two bindings target the same slot of one accelerator.
+    DuplicateArg {
+        /// The accelerator's template.
+        template: String,
+        /// The slot bound twice.
+        slot: usize,
+    },
+    /// A slot below a bound slot was left unbound (the driver would read a
+    /// hole in its argument list).
+    UnboundArg {
+        /// The accelerator's template.
+        template: String,
+        /// The unbound slot index.
+        slot: usize,
+    },
+    /// A stream that neither starts nor ends at the accelerator's level
+    /// was bound to one of its slots.
+    MisplacedStream {
+        /// The accelerator's template.
+        template: String,
+        /// The accelerator's placement.
+        level: Level,
+        /// The stream's source level.
+        src: Level,
+        /// The stream's destination level.
+        dst: Level,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownTemplate { template, level } => {
+                write!(f, "unknown template {template} at {level}")
+            }
+            ConfigError::CpuAccelerator { template } => {
+                write!(f, "{template}: CPU is not an accelerator level")
+            }
+            ConfigError::ArgOutOfRange {
+                template,
+                slot,
+                arity,
+            } => write!(
+                f,
+                "{template}: arg slot {slot} out of range (kernel arity {arity})"
+            ),
+            ConfigError::DuplicateArg { template, slot } => {
+                write!(f, "{template}: arg slot {slot} bound twice")
+            }
+            ConfigError::UnboundArg { template, slot } => {
+                write!(f, "{template}: arg slot {slot} unbound below a bound slot")
+            }
+            ConfigError::MisplacedStream {
+                template,
+                level,
+                src,
+                dst,
+            } => write!(
+                f,
+                "{template}: stream {src}->{dst} does not touch level {level}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 #[derive(Clone, Debug)]
 struct AccEntry {
     template: String,
     level: Level,
-    args: Vec<(usize, Arg)>,
+    args: Vec<(ArgSlot, Arg)>,
 }
 
 #[derive(Clone, Debug)]
@@ -193,14 +329,9 @@ impl ReachConfig {
     /// `template` at `level`. Registering the same template twice creates
     /// two logical accelerators (like `knn0` / `knn1` in Listing 2).
     ///
-    /// # Panics
-    ///
-    /// Panics if `level` is [`Level::Cpu`] — the CPU is not an accelerator.
+    /// Registering at [`Level::Cpu`] is recorded but rejected by
+    /// [`Self::build`] — the CPU is not an accelerator.
     pub fn register_acc(&mut self, template: &str, level: Level) -> Acc {
-        assert!(
-            level != Level::Cpu,
-            "register_acc: CPU is not an accelerator level"
-        );
         self.accs.push(AccEntry {
             template: template.to_string(),
             level,
@@ -247,41 +378,141 @@ impl ReachConfig {
         Stream(self.streams.len() - 1)
     }
 
-    /// `acc.setArgs(index, arg)`: binds a buffer or stream to a kernel
+    /// `acc.setArgs(slot, arg)`: binds a buffer or stream to a kernel
     /// argument slot.
     ///
     /// Binding a fixed buffer that lives at a *different* level is legal —
     /// it means the GAM must move the data before each execution, which is
     /// exactly the cost the hierarchy exists to avoid (and the cost the
-    /// single-level baselines pay).
+    /// single-level baselines pay). The binding itself is checked by
+    /// [`Self::build`]: out-of-arity slots, duplicate slots and streams
+    /// that do not touch the accelerator's level all become typed
+    /// [`ConfigError`]s there.
     ///
     /// # Panics
     ///
-    /// Panics if a stream neither starts nor ends at the accelerator's
-    /// level.
-    pub fn set_arg(&mut self, acc: Acc, index: usize, arg: impl Into<Arg>) {
-        let arg = arg.into();
-        let level = self.accs[acc.0].level;
-        match arg {
-            Arg::Buffer(_) => {}
-            Arg::Stream(s) => {
-                let entry = &self.streams[s.0];
-                assert!(
-                    entry.src == level || entry.dst == level,
-                    "set_arg: stream {}->{} does not touch level {}",
-                    entry.src,
-                    entry.dst,
-                    level
-                );
-            }
-        }
-        self.accs[acc.0].args.push((index, arg));
+    /// Panics if `acc` is a stale handle.
+    pub fn set_arg(&mut self, acc: Acc, slot: impl Into<ArgSlot>, arg: impl Into<Arg>) {
+        self.accs[acc.0].args.push((slot.into(), arg.into()));
     }
 
     /// Number of registered accelerators.
     #[must_use]
     pub fn acc_count(&self) -> usize {
         self.accs.len()
+    }
+
+    /// Validates the configuration against the paper's Table III template
+    /// registry. See [`Self::build_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found, in accelerator
+    /// registration order.
+    pub fn build(self) -> Result<ValidatedConfig, ConfigError> {
+        let registry = TemplateRegistry::paper_table3();
+        self.build_with(&registry)
+    }
+
+    /// Validates the configuration against `registry`, resolving every
+    /// template and checking every argument binding, and returns the
+    /// [`ValidatedConfig`] that [`Pipeline::new`] consumes.
+    ///
+    /// Checked per accelerator, in registration order:
+    ///
+    /// * the placement is not [`Level::Cpu`];
+    /// * the template resolves at the placement's compute level;
+    /// * every bound slot is below the kernel's `arg_slots` arity and no
+    ///   slot is bound twice;
+    /// * every bound stream starts or ends at the accelerator's level;
+    /// * the bound slots have no holes — a prefix `0..n` of the signature
+    ///   may be left entirely unbound (work parameters passed at `execute`
+    ///   time), but a gap below a bound slot is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn build_with(self, registry: &TemplateRegistry) -> Result<ValidatedConfig, ConfigError> {
+        let mut kernels = Vec::with_capacity(self.accs.len());
+        for acc in &self.accs {
+            if acc.level == Level::Cpu {
+                return Err(ConfigError::CpuAccelerator {
+                    template: acc.template.clone(),
+                });
+            }
+            let kernel = registry
+                .resolve(&acc.template, acc.level.compute_level())
+                .ok_or_else(|| ConfigError::UnknownTemplate {
+                    template: acc.template.clone(),
+                    level: acc.level,
+                })?;
+            let mut bound = vec![false; kernel.arg_slots];
+            for &(slot, arg) in &acc.args {
+                let i = slot.index();
+                if i >= kernel.arg_slots {
+                    return Err(ConfigError::ArgOutOfRange {
+                        template: acc.template.clone(),
+                        slot: i,
+                        arity: kernel.arg_slots,
+                    });
+                }
+                if bound[i] {
+                    return Err(ConfigError::DuplicateArg {
+                        template: acc.template.clone(),
+                        slot: i,
+                    });
+                }
+                bound[i] = true;
+                if let Arg::Stream(s) = arg {
+                    let entry = &self.streams[s.0];
+                    if entry.src != acc.level && entry.dst != acc.level {
+                        return Err(ConfigError::MisplacedStream {
+                            template: acc.template.clone(),
+                            level: acc.level,
+                            src: entry.src,
+                            dst: entry.dst,
+                        });
+                    }
+                }
+            }
+            if let Some(top) = bound.iter().rposition(|&b| b) {
+                if let Some(hole) = bound[..top].iter().position(|&b| !b) {
+                    return Err(ConfigError::UnboundArg {
+                        template: acc.template.clone(),
+                        slot: hole,
+                    });
+                }
+            }
+            kernels.push(kernel.clone());
+        }
+        Ok(ValidatedConfig {
+            config: self,
+            kernels,
+        })
+    }
+}
+
+/// A [`ReachConfig`] that passed [`ReachConfig::build`]: every template is
+/// resolved (the [`KernelSpec`]s are captured here, so the pipeline never
+/// consults a registry mid-run) and every binding is checked.
+#[derive(Clone, Debug)]
+pub struct ValidatedConfig {
+    config: ReachConfig,
+    kernels: Vec<KernelSpec>,
+}
+
+impl ValidatedConfig {
+    /// The underlying configuration.
+    #[must_use]
+    pub fn config(&self) -> &ReachConfig {
+        &self.config
+    }
+
+    /// The resolved kernel for each registered accelerator, in
+    /// registration order.
+    #[must_use]
+    pub fn kernels(&self) -> &[KernelSpec] {
+        &self.kernels
     }
 }
 
@@ -298,15 +529,34 @@ struct Call {
 #[derive(Clone, Debug)]
 pub struct Pipeline {
     config: ReachConfig,
+    /// Resolved kernels, parallel to the config's accelerators. `Some` for
+    /// validated pipelines; `None` for the deprecated unchecked path,
+    /// which resolves against the machine's registry at job-build time.
+    kernels: Option<Vec<KernelSpec>>,
     calls: Vec<Call>,
 }
 
 impl Pipeline {
-    /// Wraps a finished configuration.
+    /// Wraps a validated configuration.
     #[must_use]
-    pub fn new(config: ReachConfig) -> Self {
+    pub fn new(config: ValidatedConfig) -> Self {
+        Pipeline {
+            config: config.config,
+            kernels: Some(config.kernels),
+            calls: Vec::new(),
+        }
+    }
+
+    /// Wraps a raw configuration without validating it. Template resolution
+    /// happens per batch against the machine's registry and **panics** on
+    /// an unknown template — exactly the mid-run failure
+    /// [`ReachConfig::build`] exists to catch.
+    #[deprecated(note = "validate with ReachConfig::build() and use Pipeline::new")]
+    #[must_use]
+    pub fn new_unchecked(config: ReachConfig) -> Self {
         Pipeline {
             config,
+            kernels: None,
             calls: Vec::new(),
         }
     }
@@ -345,12 +595,14 @@ impl Pipeline {
     /// stages. Under [`ExecMode::Sequential`] each batch completes before
     /// the next is submitted and the last batch's report is returned.
     ///
+    /// With `batches == 0` nothing is submitted and both modes return an
+    /// empty report (zero jobs, zero makespan).
+    ///
     /// # Panics
     ///
-    /// Panics if the pipeline is empty, a template cannot be resolved, or
-    /// `batches` is zero.
+    /// Panics if the pipeline is empty, or (on the deprecated unchecked
+    /// path only) a template cannot be resolved.
     pub fn run_mode(&self, machine: &mut Machine, batches: usize, mode: ExecMode) -> RunReport {
-        assert!(batches > 0, "Pipeline::run_mode: zero batches");
         assert!(!self.calls.is_empty(), "Pipeline::run_mode: empty pipeline");
         let mut report = None;
         for batch in 0..batches {
@@ -360,9 +612,11 @@ impl Pipeline {
                 report = Some(machine.run());
             }
         }
-        match mode {
-            ExecMode::Pipelined => machine.run(),
-            ExecMode::Sequential => report.expect("at least one batch ran"),
+        match (mode, report) {
+            (ExecMode::Sequential, Some(r)) => r,
+            // Pipelined, or Sequential with zero batches: run whatever is
+            // queued (possibly nothing) and report on that.
+            _ => machine.run(),
         }
     }
 
@@ -456,12 +710,17 @@ impl Pipeline {
         for (ci, call) in self.calls.iter().enumerate() {
             let acc = &self.config.accs[call.acc.0];
             let level = acc.level.compute_level();
-            let kernel = machine
-                .registry()
-                .resolve(&acc.template, level)
-                .unwrap_or_else(|| {
-                    panic!("Pipeline: unknown template {} at {level}", acc.template)
-                });
+            let kernel = match &self.kernels {
+                // Validated pipeline: the kernel was resolved (and the
+                // binding checked) at ReachConfig::build time.
+                Some(kernels) => &kernels[call.acc.0],
+                None => machine
+                    .registry()
+                    .resolve(&acc.template, level)
+                    .unwrap_or_else(|| {
+                        panic!("Pipeline: unknown template {} at {level}", acc.template)
+                    }),
+            };
 
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
@@ -529,7 +788,7 @@ mod tests {
         cfg.set_arg(cnn, 0, feats);
         let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
         cfg.set_arg(knn, 0, feats);
-        let mut p = Pipeline::new(cfg);
+        let mut p = Pipeline::new(cfg.build().expect("valid test config"));
         p.call(cnn, TaskWork::compute(10_000_000_000), "fe");
         p.call(knn, TaskWork::stream(1_000_000, 64 << 20), "rr");
         p
@@ -570,18 +829,141 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "CPU is not an accelerator")]
-    fn cpu_accelerator_rejected() {
-        ReachConfig::new().register_acc("X", Level::Cpu);
+    fn cpu_accelerator_rejected_at_build() {
+        let mut cfg = ReachConfig::new();
+        cfg.register_acc("VGG16-VU9P", Level::Cpu);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::CpuAccelerator {
+                template: "VGG16-VU9P".to_string()
+            }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "does not touch level")]
-    fn unrelated_stream_binding_rejected() {
+    fn unknown_template_rejected_at_build() {
+        let mut cfg = ReachConfig::new();
+        cfg.register_acc("NOT-A-KERNEL", Level::OnChip);
+        let err = cfg.build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnknownTemplate {
+                template: "NOT-A-KERNEL".to_string(),
+                level: Level::OnChip
+            }
+        );
+        assert!(err.to_string().contains("unknown template"));
+    }
+
+    #[test]
+    fn unrelated_stream_binding_rejected_at_build() {
         let mut cfg = ReachConfig::new();
         let s = cfg.create_stream(Level::Cpu, Level::OnChip, StreamType::Pair, 64, 1);
         let knn = cfg.register_acc("KNN-ZCU9", Level::NearStor);
         cfg.set_arg(knn, 0, s);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::MisplacedStream {
+                template: "KNN-ZCU9".to_string(),
+                level: Level::NearStor,
+                src: Level::Cpu,
+                dst: Level::OnChip
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_arity_slot_rejected_at_build() {
+        // The CNN driver exposes three slots; slot 7 is a typo'd index
+        // that used to misbind silently.
+        let mut cfg = ReachConfig::new();
+        let buf = cfg.create_fixed_buffer("params", Level::OnChip, 1 << 20);
+        let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        cfg.set_arg(cnn, 7, buf);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::ArgOutOfRange {
+                template: "VGG16-VU9P".to_string(),
+                slot: 7,
+                arity: 3
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_slot_rejected_at_build() {
+        let mut cfg = ReachConfig::new();
+        let buf = cfg.create_fixed_buffer("params", Level::OnChip, 1 << 20);
+        let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        cfg.set_arg(cnn, 1, buf);
+        cfg.set_arg(cnn, 1, buf);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::DuplicateArg {
+                template: "VGG16-VU9P".to_string(),
+                slot: 1
+            }
+        );
+    }
+
+    #[test]
+    fn hole_below_bound_slot_rejected_at_build() {
+        // Binding slot 2 while slot 1 is unbound leaves a hole in the
+        // driver's argument list; a clean prefix (slots 0..n unbound with
+        // nothing above them) stays legal.
+        let mut cfg = ReachConfig::new();
+        let buf = cfg.create_fixed_buffer("params", Level::OnChip, 1 << 20);
+        let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        cfg.set_arg(cnn, 0, buf);
+        cfg.set_arg(cnn, 2, buf);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::UnboundArg {
+                template: "VGG16-VU9P".to_string(),
+                slot: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_and_prefix_bindings_stay_legal() {
+        // Work parameters can be passed at execute time, so partially
+        // bound (or entirely unbound) signatures must build.
+        let mut cfg = ReachConfig::new();
+        cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        let buf = cfg.create_fixed_buffer("db", Level::NearMem, 1 << 20);
+        let gemm = cfg.register_acc("GEMM-ZCU9", Level::NearMem);
+        cfg.set_arg(gemm, 0, buf);
+        assert!(cfg.build().is_ok());
+    }
+
+    #[test]
+    fn arg_slot_conversions() {
+        assert_eq!(ArgSlot::from(3).index(), 3);
+        assert_eq!(ArgSlot::new(2), ArgSlot::from(2));
+        assert_eq!(ArgSlot::new(1).to_string(), "arg1");
+    }
+
+    #[test]
+    fn zero_batches_is_an_empty_run_in_both_modes() {
+        for mode in [ExecMode::Pipelined, ExecMode::Sequential] {
+            let mut m = Machine::new(SystemConfig::paper_table2());
+            let r = simple_pipeline().run_mode(&mut m, 0, mode);
+            assert_eq!(r.jobs, 0, "{mode:?}");
+            assert!(r.makespan.is_zero(), "{mode:?}");
+            assert!(r.stages.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn unchecked_pipeline_still_runs() {
+        let mut cfg = ReachConfig::new();
+        let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+        #[allow(deprecated)]
+        let mut p = Pipeline::new_unchecked(cfg);
+        p.call(cnn, TaskWork::compute(1_000_000_000), "fe");
+        let mut m = Machine::new(SystemConfig::paper_table2());
+        assert_eq!(p.run(&mut m, 1).jobs, 1);
     }
 
     #[test]
@@ -592,7 +974,7 @@ mod tests {
         let buf = cfg.create_fixed_buffer("db", Level::NearStor, 64 << 20);
         let knn = cfg.register_acc("KNN-VU9P", Level::OnChip);
         cfg.set_arg(knn, 0, buf);
-        let mut p = Pipeline::new(cfg);
+        let mut p = Pipeline::new(cfg.build().expect("valid test config"));
         p.call(knn, TaskWork::gather(1_000_000, 64 << 20, 4096), "rr");
         let mut m = Machine::new(SystemConfig::paper_table2());
         let r = p.run(&mut m, 1);

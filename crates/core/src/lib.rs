@@ -64,10 +64,13 @@ pub mod host;
 pub mod machine;
 pub mod report;
 pub mod scenario;
+pub mod telemetry;
 pub mod trace;
 pub mod work;
 
-pub use api::{ExecMode, Level, Pipeline, ReachConfig, StreamType};
+pub use api::{
+    Arg, ArgSlot, ConfigError, ExecMode, Level, Pipeline, ReachConfig, StreamType, ValidatedConfig,
+};
 pub use blueprint::MachineBlueprint;
 pub use config::SystemConfig;
 pub use host::{ArrivalProcess, Batcher};
@@ -81,4 +84,4 @@ pub use work::{DataAccess, TaskWork};
 pub use reach_accel::{AcceleratorId, ComputeLevel, KernelSpec, TemplateRegistry};
 pub use reach_energy::{EnergyLedger, SystemComponent};
 pub use reach_gam::{Job, JobBuilder, JobId, TaskId};
-pub use reach_sim::{SimDuration, SimTime};
+pub use reach_sim::{MetricValue, MetricsSnapshot, SimDuration, SimTime};

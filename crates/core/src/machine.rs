@@ -32,6 +32,7 @@
 use crate::blueprint::MachineBlueprint;
 use crate::config::SystemConfig;
 use crate::report::{RunReport, StageSummary};
+use crate::telemetry::{level_slug, MachineMetrics};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::work::{DataAccess, TaskWork};
 use reach_accel::{Accelerator, AcceleratorId, ComputeLevel, TemplateRegistry};
@@ -126,6 +127,7 @@ pub struct Machine {
     ns_cursor: u64,
     deferred: Vec<Option<Job>>,
     trace: Option<Trace>,
+    metrics: MachineMetrics,
 }
 
 impl Machine {
@@ -213,6 +215,7 @@ impl Machine {
             ns_cursor: 0,
             deferred: Vec::new(),
             trace: None,
+            metrics: MachineMetrics::new(),
             cfg,
         }
         .install_gam(gam)
@@ -281,6 +284,7 @@ impl Machine {
         self.job_submit.insert(job.id, self.queue.now());
         let actions = self.gam.submit_job(job);
         self.process_actions(actions);
+        self.sample_queues();
     }
 
     /// Schedules a job to be submitted to the GAM at a future instant —
@@ -365,12 +369,23 @@ impl Machine {
                     self.process_actions(actions);
                 }
             }
+            self.sample_queues();
         }
         assert!(
             self.gam.idle(),
             "Machine::run: queue drained but GAM not idle"
         );
         self.report()
+    }
+
+    /// Samples the GAM ready-queue depth at every level. Called after each
+    /// event is fully processed, so the gauges see the settled backlog.
+    fn sample_queues(&mut self) {
+        let now = self.queue.now();
+        for level in ComputeLevel::ALL {
+            self.metrics
+                .sample_queue_depth(level, now, self.gam.queue_depth(level));
+        }
     }
 
     fn record_host_interrupts(&mut self, actions: &[GamAction], now: SimTime) {
@@ -435,6 +450,8 @@ impl Machine {
         let finish = res.ready;
 
         // Accounting.
+        self.metrics
+            .task_executed(acc_id.level, res.start, finish, duration);
         let power = kernel.power_w;
         let acct = self.stages.entry(stage.clone()).or_default();
         acct.acc_active_j += power * duration.as_secs_f64();
@@ -670,6 +687,7 @@ impl Machine {
             .map(|m| m.stage.clone())
             .unwrap_or_else(|| "transfer".to_string());
         let done = self.price_dma(now, bytes, from, to, &stage);
+        self.metrics.dma(from, to, bytes);
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
                 name: format!("{stage} ({from}->{to}, {bytes} B)"),
@@ -776,6 +794,95 @@ impl Machine {
     // ----------------------------------------------------------------- //
     // Reporting
     // ----------------------------------------------------------------- //
+
+    /// Folds the hot-path telemetry with the statistics the substrate
+    /// models already keep (channel traffic, SSD flash bytes, per-instance
+    /// busy time) into one name-sorted snapshot.
+    fn metrics_snapshot(&self) -> reach_sim::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot(self.queue.now());
+
+        // Memory: host and near-memory DDR channels, NoC ports, AIMbus.
+        for (prefix, mc) in [
+            ("mem.ddr.host", &self.host_mc),
+            ("mem.ddr.near_mem", &self.nm_mc),
+        ] {
+            for ch in 0..mc.config().channels {
+                snap.set_counter(&format!("{prefix}.ch{ch}.bytes"), mc.channel_bytes(ch));
+                snap.set_counter(
+                    &format!("{prefix}.ch{ch}.busy_ps"),
+                    mc.channel_busy(ch).as_ps(),
+                );
+            }
+        }
+        snap.set_counter("mem.noc.bytes", self.noc.stats().bytes);
+        snap.set_counter("mem.noc.transfers", self.noc.stats().transfers);
+        let port_slug = |p: NocPort| match p {
+            NocPort::Cpu => "cpu",
+            NocPort::Accelerator => "accel",
+            NocPort::Gam => "gam",
+            NocPort::Cache => "cache",
+            NocPort::Pcie => "pcie",
+        };
+        for port in NocPort::ALL {
+            snap.set_counter(
+                &format!("mem.noc.port.{}.busy_ps", port_slug(port)),
+                self.noc.port_busy(port).as_ps(),
+            );
+        }
+        snap.set_counter("mem.aimbus.bytes", self.aimbus.bytes_transferred());
+        snap.set_counter("mem.aimbus.busy_ps", self.aimbus.busy_time().as_ps());
+
+        // Storage: the shared host IO interface and each near-storage unit.
+        snap.set_counter(
+            "storage.pcie.host.bytes",
+            self.host_switch.bytes_transferred(),
+        );
+        snap.set_counter(
+            "storage.pcie.host.busy_ps",
+            self.host_switch.busy_time().as_ps(),
+        );
+        for (i, dev) in self.ns_devices.iter().enumerate() {
+            let ssd = dev.ssd().stats();
+            snap.set_counter(&format!("storage.ssd{i}.read_bytes"), ssd.bytes_read);
+            snap.set_counter(&format!("storage.ssd{i}.write_bytes"), ssd.bytes_written);
+            snap.set_counter(
+                &format!("storage.ssd{i}.flash_busy_ps"),
+                dev.ssd().flash_busy_time().as_ps(),
+            );
+            snap.set_counter(
+                &format!("storage.ssd{i}.link.bytes"),
+                dev.device_link_bytes(),
+            );
+            snap.set_counter(
+                &format!("storage.ssd{i}.link.busy_ps"),
+                dev.device_link_busy().as_ps(),
+            );
+        }
+
+        // Accelerators: per-instance busy time and reconfigurations.
+        for (id, acc) in &self.accelerators {
+            let slug = level_slug(id.level);
+            snap.set_counter(
+                &format!("accel.{slug}.{}.busy_ps", id.index),
+                acc.busy_time().as_ps(),
+            );
+            snap.set_counter(
+                &format!("accel.{slug}.{}.reconfigs", id.index),
+                acc.stats().reconfigurations,
+            );
+        }
+
+        // GAM aggregates.
+        let g = self.gam.stats();
+        snap.set_counter("gam.jobs_submitted", g.jobs_submitted);
+        snap.set_counter("gam.jobs_completed", g.jobs_completed);
+        snap.set_counter("gam.dispatches", g.dispatches);
+        snap.set_counter("gam.polls_sent", g.polls_sent);
+        snap.set_counter("gam.polls_missed", g.polls_missed);
+        snap.set_counter("gam.dmas", g.dmas);
+        snap.set_counter("gam.dma_bytes", g.dma_bytes);
+        snap
+    }
 
     fn report(&self) -> RunReport {
         let makespan = self.queue.now().since(SimTime::ZERO);
@@ -929,6 +1036,7 @@ impl Machine {
             ledger,
             gam: *self.gam.stats(),
             completions: self.job_done.values().copied().collect(),
+            metrics: self.metrics_snapshot(),
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use reach_energy::EnergyLedger;
 use reach_gam::manager::GamStats;
-use reach_sim::{SimDuration, SimTime};
+use reach_sim::{MetricsSnapshot, SimDuration, SimTime};
 use std::fmt;
 
 /// Per-stage accounting.
@@ -45,6 +45,11 @@ pub struct RunReport {
     pub gam: GamStats,
     /// Completion instant of each job, in job-id (submission) order.
     pub completions: Vec<SimTime>,
+    /// Machine-wide telemetry: queue depths, occupancy, link traffic (see
+    /// [`crate::telemetry`] for the namespace). Not part of [`fmt::Display`]
+    /// — export it with [`MetricsSnapshot::to_json`] or
+    /// [`MetricsSnapshot::to_csv`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -139,6 +144,7 @@ mod tests {
                 SimTime::from_ps(250_000_000_000),
                 SimTime::from_ps(500_000_000_000),
             ],
+            metrics: MetricsSnapshot::new(500_000_000_000),
         }
     }
 

@@ -140,7 +140,7 @@ mod tests {
     fn demo_scenario(batches: usize) -> impl Scenario {
         let mut cfg = ReachConfig::new();
         let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
-        let mut pipeline = Pipeline::new(cfg);
+        let mut pipeline = Pipeline::new(cfg.build().expect("demo config"));
         pipeline.call(acc, TaskWork::compute(1_000_000_000), "fe");
         FnScenario::new(
             format!("demo/x{batches}"),

@@ -1,0 +1,205 @@
+//! Machine-wide telemetry: the hot-path handles the [`crate::Machine`]
+//! records through, and the end-of-run fold into a
+//! [`reach_sim::MetricsSnapshot`].
+//!
+//! The machine owns one [`MachineMetrics`]. Dispatch, DMA and the event
+//! loop record through pre-created handles (no string work per sample);
+//! component-internal statistics that already live in the substrate models
+//! (memory-channel bytes, SSD flash traffic, per-instance busy time) are
+//! pulled once at report time and merged into the same snapshot under the
+//! same hierarchical namespace:
+//!
+//! ```text
+//! accel.<level>.busy_ps          accelerator busy time per level
+//! accel.<level>.<i>.busy_ps      …and per instance
+//! accel.<level>.occupancy        concurrent-busy-instance occupancy
+//! gam.queue.<level>.depth        ready-queue depth gauge
+//! gam.dma.<from>.<to>.bytes      GAM-initiated staging traffic
+//! mem.ddr.host.ch<i>.bytes       host memory-channel traffic
+//! mem.noc.port.<port>.busy_ps    on-chip network port busy time
+//! storage.ssd<i>.read_bytes      flash traffic per drive
+//! ```
+//!
+//! Levels appear as `on_chip`, `near_mem`, `near_stor`.
+
+use reach_accel::ComputeLevel;
+use reach_sim::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, OccupancyId, SimDuration,
+    SimTime,
+};
+
+/// Stable dotted-name segment for a compute level.
+#[must_use]
+pub(crate) fn level_slug(level: ComputeLevel) -> &'static str {
+    match level {
+        ComputeLevel::OnChip => "on_chip",
+        ComputeLevel::NearMemory => "near_mem",
+        ComputeLevel::NearStorage => "near_stor",
+    }
+}
+
+fn level_index(level: ComputeLevel) -> usize {
+    match level {
+        ComputeLevel::OnChip => 0,
+        ComputeLevel::NearMemory => 1,
+        ComputeLevel::NearStorage => 2,
+    }
+}
+
+/// Handles for one compute level's hot-path metrics.
+struct LevelMetrics {
+    queue_depth: GaugeId,
+    dispatches: CounterId,
+    busy_ps: CounterId,
+    task_ps: HistogramId,
+    occupancy: OccupancyId,
+}
+
+/// The machine's telemetry surface.
+///
+/// All metric names are created up front so every run of the same machine
+/// shape exports the same schema, even for metrics that stay at zero.
+pub(crate) struct MachineMetrics {
+    registry: MetricsRegistry,
+    levels: [LevelMetrics; 3],
+    /// `[from][to]` staging-transfer counters, indexed by hierarchy order.
+    dma_bytes: [[CounterId; 3]; 3],
+    dma_count: [[CounterId; 3]; 3],
+}
+
+impl MachineMetrics {
+    pub(crate) fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        let levels = ComputeLevel::ALL.map(|level| {
+            let slug = level_slug(level);
+            LevelMetrics {
+                queue_depth: registry.gauge(&format!("gam.queue.{slug}.depth")),
+                dispatches: registry.counter(&format!("gam.dispatch.{slug}.count")),
+                busy_ps: registry.counter(&format!("accel.{slug}.busy_ps")),
+                task_ps: registry.histogram(&format!("accel.{slug}.task_ps")),
+                occupancy: registry.occupancy(&format!("accel.{slug}.occupancy")),
+            }
+        });
+        let dma_bytes = ComputeLevel::ALL.map(|from| {
+            ComputeLevel::ALL.map(|to| {
+                registry.counter(&format!(
+                    "gam.dma.{}.{}.bytes",
+                    level_slug(from),
+                    level_slug(to)
+                ))
+            })
+        });
+        let dma_count = ComputeLevel::ALL.map(|from| {
+            ComputeLevel::ALL.map(|to| {
+                registry.counter(&format!(
+                    "gam.dma.{}.{}.count",
+                    level_slug(from),
+                    level_slug(to)
+                ))
+            })
+        });
+        MachineMetrics {
+            registry,
+            levels,
+            dma_bytes,
+            dma_count,
+        }
+    }
+
+    /// Records one executed task: the busy window `[start, end)` on `level`
+    /// with service time `duration` (excludes load/reconfiguration skew
+    /// between `start` and the priced duration).
+    pub(crate) fn task_executed(
+        &mut self,
+        level: ComputeLevel,
+        start: SimTime,
+        end: SimTime,
+        duration: SimDuration,
+    ) {
+        let l = &self.levels[level_index(level)];
+        self.registry.inc(l.dispatches);
+        self.registry.add(l.busy_ps, duration.as_ps());
+        self.registry.record(l.task_ps, duration.as_ps());
+        self.registry.occupy(l.occupancy, start, end, 1.0);
+    }
+
+    /// Records one GAM-initiated staging transfer.
+    pub(crate) fn dma(&mut self, from: ComputeLevel, to: ComputeLevel, bytes: u64) {
+        let (f, t) = (level_index(from), level_index(to));
+        self.registry.add(self.dma_bytes[f][t], bytes);
+        self.registry.inc(self.dma_count[f][t]);
+    }
+
+    /// Samples the GAM ready-queue depth of `level` at instant `at`.
+    /// Samples must arrive in time order (the event loop is monotonic).
+    pub(crate) fn sample_queue_depth(&mut self, level: ComputeLevel, at: SimTime, depth: usize) {
+        let l = &self.levels[level_index(level)];
+        self.registry.gauge_set(l.queue_depth, at, depth as f64);
+    }
+
+    /// Folds the recorded metrics into a snapshot over `[0, until]`.
+    pub(crate) fn snapshot(&self, until: SimTime) -> MetricsSnapshot {
+        self.registry.snapshot(until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_sim::MetricValue;
+
+    #[test]
+    fn schema_is_complete_before_any_recording() {
+        let m = MachineMetrics::new();
+        let snap = m.snapshot(SimTime::ZERO);
+        for slug in ["on_chip", "near_mem", "near_stor"] {
+            assert!(snap.get(&format!("gam.queue.{slug}.depth")).is_some());
+            assert!(snap.get(&format!("accel.{slug}.busy_ps")).is_some());
+            assert!(snap.get(&format!("accel.{slug}.occupancy")).is_some());
+        }
+        assert!(snap.get("gam.dma.on_chip.near_stor.bytes").is_some());
+        assert_eq!(snap.len(), 15 + 18);
+    }
+
+    #[test]
+    fn task_execution_lands_in_every_level_metric() {
+        let mut m = MachineMetrics::new();
+        m.task_executed(
+            ComputeLevel::NearMemory,
+            SimTime::from_ps(10),
+            SimTime::from_ps(30),
+            SimDuration::from_ps(20),
+        );
+        let snap = m.snapshot(SimTime::from_ps(40));
+        assert_eq!(
+            snap.get("accel.near_mem.busy_ps"),
+            Some(&MetricValue::Counter { value: 20 })
+        );
+        match snap.get("accel.near_mem.occupancy").unwrap() {
+            MetricValue::Occupancy { mean, peak } => {
+                assert!((mean - 0.5).abs() < 1e-12, "mean {mean}");
+                assert!((peak - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected occupancy, got {other:?}"),
+        }
+        assert_eq!(
+            snap.get("gam.dispatch.near_mem.count"),
+            Some(&MetricValue::Counter { value: 1 })
+        );
+    }
+
+    #[test]
+    fn dma_routes_to_the_directed_pair() {
+        let mut m = MachineMetrics::new();
+        m.dma(ComputeLevel::NearStorage, ComputeLevel::OnChip, 4096);
+        let snap = m.snapshot(SimTime::ZERO);
+        assert_eq!(
+            snap.get("gam.dma.near_stor.on_chip.bytes"),
+            Some(&MetricValue::Counter { value: 4096 })
+        );
+        assert_eq!(
+            snap.get("gam.dma.on_chip.near_stor.bytes"),
+            Some(&MetricValue::Counter { value: 0 })
+        );
+    }
+}

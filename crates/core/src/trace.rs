@@ -172,6 +172,29 @@ mod tests {
     }
 
     #[test]
+    fn rows_group_by_level_and_instance() {
+        // The machine uses the level name as pid and the instance index as
+        // tid, so the viewer shows one process row per hierarchy level and
+        // one thread row per accelerator instance.
+        let mut t = Trace::new();
+        for (track, lane) in [("on-chip", 0), ("near-storage", 0), ("near-storage", 1)] {
+            t.record(TraceEvent {
+                name: "task".into(),
+                kind: TraceKind::Task,
+                track: track.into(),
+                lane,
+                start: SimTime::ZERO,
+                duration: SimDuration::from_ns(1),
+            });
+        }
+        let json = t.to_chrome_json();
+        assert_eq!(json.matches("\"pid\":\"near-storage\"").count(), 2);
+        assert_eq!(json.matches("\"pid\":\"on-chip\"").count(), 1);
+        assert!(json.contains("\"pid\":\"near-storage\",\"tid\":0}"));
+        assert!(json.contains("\"pid\":\"near-storage\",\"tid\":1}"));
+    }
+
+    #[test]
     fn accessors() {
         let t = sample();
         assert_eq!(t.len(), 2);

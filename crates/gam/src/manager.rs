@@ -198,6 +198,13 @@ impl Gam {
         self.tasks.get(&task).map(|e| e.state)
     }
 
+    /// Tasks ready at `level` but waiting for a free instance — the
+    /// dispatch backlog a telemetry gauge samples.
+    #[must_use]
+    pub fn queue_depth(&self, level: ComputeLevel) -> usize {
+        self.queues.get(&level).map_or(0, BTreeSet::len)
+    }
+
     /// Submits a job: allocates buffer-table entries, threads dependencies,
     /// and returns the initial dispatch/DMA actions.
     ///

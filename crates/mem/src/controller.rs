@@ -16,7 +16,7 @@
 //! operation may pipeline at once.
 
 use crate::ddr::{AccessKind, Dimm, DimmConfig, RowPolicy};
-use reach_sim::{Reservation, SerialResource, SimTime};
+use reach_sim::{Reservation, SerialResource, SimDuration, SimTime};
 
 /// How the physical address space is spread across DIMMs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -290,6 +290,16 @@ impl MemoryController {
     #[must_use]
     pub fn total_channel_bytes(&self) -> u64 {
         self.channels.iter().map(|c| c.stats.bytes).sum()
+    }
+
+    /// Accumulated busy time of channel `ch`'s bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    #[must_use]
+    pub fn channel_busy(&self, ch: usize) -> SimDuration {
+        self.channels[ch].bus.busy_time()
     }
 
     /// Aggregate DRAM statistics over all DIMMs.

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod metrics;
 pub mod rate;
 pub mod resource;
 pub mod rng;
@@ -45,6 +46,10 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot, OccupancyId,
+    WindowedGauge,
+};
 pub use rate::{Bandwidth, Frequency};
 pub use resource::{BandwidthResource, MultiResource, Reservation, SerialResource};
 pub use stats::{Accumulator, Counter, Histogram, TimeWeighted};

@@ -1,0 +1,630 @@
+//! The metrics registry: hierarchical, handle-based telemetry.
+//!
+//! The primitives in [`crate::stats`] (counters, accumulators, histograms,
+//! time-weighted signals) describe *one* quantity each. This module binds
+//! them into a [`MetricsRegistry`] a simulation core can own: metrics are
+//! created once under hierarchical dotted names (`mem.ddr.ch0.busy_ps`,
+//! `gam.queue.near_mem.depth`, `storage.ssd0.read_bytes`) and recorded
+//! through cheap index handles on the hot path — no string hashing per
+//! sample.
+//!
+//! At the end of a run the registry folds into a [`MetricsSnapshot`]: a
+//! name-sorted, schema-stable map of scalar summaries with two exporters,
+//! a hand-rolled JSON dump (same no-dependency style as the Chrome trace
+//! serializer) and a flat CSV for sweep post-processing.
+//!
+//! # Example
+//!
+//! ```
+//! use reach_sim::metrics::MetricsRegistry;
+//! use reach_sim::SimTime;
+//!
+//! let mut reg = MetricsRegistry::new();
+//! let bytes = reg.counter("mem.ddr.ch0.bytes");
+//! let depth = reg.gauge("gam.queue.near_mem.depth");
+//! reg.add(bytes, 4096);
+//! reg.gauge_set(depth, SimTime::from_ps(0), 2.0);
+//! reg.gauge_set(depth, SimTime::from_ps(50), 4.0);
+//! let snap = reg.snapshot(SimTime::from_ps(100));
+//! assert!(snap.to_json().contains("\"mem.ddr.ch0.bytes\""));
+//! ```
+
+use crate::stats::{Counter, Histogram, TimeWeighted};
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Handle to a monotonically increasing counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Handle to a piecewise-constant gauge (time-weighted signal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GaugeId(usize);
+
+/// Handle to a power-of-two bucketed histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+/// Handle to a windowed occupancy gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OccupancyId(usize);
+
+/// A time-windowed occupancy signal built from `[start, end)` busy windows.
+///
+/// Unlike [`TimeWeighted`], windows may be recorded **out of order** — a
+/// discrete-event core discovers resource busy intervals in completion
+/// order, not in start order. The gauge stores signed edges and sorts them
+/// once at snapshot time.
+#[derive(Clone, Debug, Default)]
+pub struct WindowedGauge {
+    /// `(instant_ps, delta)` edges: `+amount` where a window opens,
+    /// `-amount` where it closes.
+    edges: Vec<(u64, f64)>,
+}
+
+impl WindowedGauge {
+    /// An empty gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one busy window of weight `amount` over `[start, end)`.
+    /// Zero-length windows contribute nothing to the average but still
+    /// count toward the peak at their instant.
+    pub fn record(&mut self, start: SimTime, end: SimTime, amount: f64) {
+        let s = start.since(SimTime::ZERO).as_ps();
+        let e = end.since(SimTime::ZERO).as_ps();
+        debug_assert!(s <= e, "WindowedGauge::record: window ends before start");
+        self.edges.push((s, amount));
+        self.edges.push((e, -amount));
+    }
+
+    /// Number of recorded windows.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// `(time-weighted mean over [0, horizon], peak concurrent value)`.
+    /// The mean is 0.0 over an empty horizon.
+    #[must_use]
+    pub fn summarize(&self, horizon: SimTime) -> (f64, f64) {
+        let horizon_ps = horizon.since(SimTime::ZERO).as_ps();
+        let mut edges = self.edges.clone();
+        // Sort by time, closing edges first at ties so a window that ends
+        // exactly where another starts never inflates the peak.
+        edges.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).expect("finite")));
+        let mut value = 0.0;
+        let mut peak = 0.0f64;
+        let mut weighted = 0.0;
+        let mut last = 0u64;
+        for (at, delta) in edges {
+            let at = at.min(horizon_ps);
+            weighted += value * (at - last) as f64;
+            last = at;
+            value += delta;
+            peak = peak.max(value);
+        }
+        weighted += value * horizon_ps.saturating_sub(last) as f64;
+        let mean = if horizon_ps == 0 {
+            0.0
+        } else {
+            weighted / horizon_ps as f64
+        };
+        (mean, peak)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+    Occupancy,
+}
+
+/// A registry of named metrics with cheap handle-based recording.
+///
+/// Creating a metric is idempotent per name (the same handle comes back);
+/// recording through a handle is an index into a dense vector.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Counter>,
+    gauges: Vec<TimeWeighted>,
+    histograms: Vec<Histogram>,
+    occupancies: Vec<(String, WindowedGauge)>,
+    index: BTreeMap<String, (Kind, usize)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(&mut self, name: &str, kind: Kind, next: usize) -> usize {
+        match self.index.get(name) {
+            Some(&(k, i)) => {
+                assert!(
+                    k == kind,
+                    "MetricsRegistry: {name} already registered as {k:?}"
+                );
+                i
+            }
+            None => {
+                self.index.insert(name.to_string(), (kind, next));
+                next
+            }
+        }
+    }
+
+    /// Creates (or finds) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        let i = self.slot(name, Kind::Counter, self.counters.len());
+        if i == self.counters.len() {
+            self.counters.push(Counter::new(name));
+        }
+        CounterId(i)
+    }
+
+    /// Creates (or finds) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        let i = self.slot(name, Kind::Gauge, self.gauges.len());
+        if i == self.gauges.len() {
+            self.gauges.push(TimeWeighted::new(name));
+        }
+        GaugeId(i)
+    }
+
+    /// Creates (or finds) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        let i = self.slot(name, Kind::Histogram, self.histograms.len());
+        if i == self.histograms.len() {
+            self.histograms.push(Histogram::new(name));
+        }
+        HistogramId(i)
+    }
+
+    /// Creates (or finds) a windowed occupancy gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn occupancy(&mut self, name: &str) -> OccupancyId {
+        let i = self.slot(name, Kind::Occupancy, self.occupancies.len());
+        if i == self.occupancies.len() {
+            self.occupancies
+                .push((name.to_string(), WindowedGauge::new()));
+        }
+        OccupancyId(i)
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].add(n);
+    }
+
+    /// Adds one to a counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].inc();
+    }
+
+    /// Sets a gauge at `at` (samples must arrive in time order).
+    pub fn gauge_set(&mut self, id: GaugeId, at: SimTime, value: f64) {
+        self.gauges[id.0].set(at, value);
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, id: HistogramId, v: u64) {
+        self.histograms[id.0].record(v);
+    }
+
+    /// Records one occupancy window (may arrive out of time order).
+    pub fn occupy(&mut self, id: OccupancyId, start: SimTime, end: SimTime, amount: f64) {
+        self.occupancies[id.0].1.record(start, end, amount);
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].get()
+    }
+
+    /// Folds every metric into a snapshot over the horizon `[0, until]`.
+    #[must_use]
+    pub fn snapshot(&self, until: SimTime) -> MetricsSnapshot {
+        let horizon_ps = until.since(SimTime::ZERO).as_ps();
+        let mut snap = MetricsSnapshot::new(horizon_ps);
+        for c in &self.counters {
+            snap.set(c.name(), MetricValue::Counter { value: c.get() });
+        }
+        for g in &self.gauges {
+            let mean = if horizon_ps == 0 {
+                0.0
+            } else {
+                g.average(until)
+            };
+            snap.set(
+                g.name(),
+                MetricValue::Gauge {
+                    mean,
+                    last: g.current(),
+                },
+            );
+        }
+        for h in &self.histograms {
+            snap.set(
+                h.name(),
+                MetricValue::Histogram {
+                    count: h.count(),
+                    mean: h.mean(),
+                    p50: h.percentile_bound(50),
+                    p99: h.percentile_bound(99),
+                },
+            );
+        }
+        for (name, w) in &self.occupancies {
+            let (mean, peak) = w.summarize(until);
+            snap.set(name, MetricValue::Occupancy { mean, peak });
+        }
+        snap
+    }
+}
+
+/// One summarized metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter {
+        /// Final value.
+        value: u64,
+    },
+    /// A piecewise-constant signal.
+    Gauge {
+        /// Time-weighted mean over the horizon.
+        mean: f64,
+        /// Last sampled value.
+        last: f64,
+    },
+    /// A sample distribution.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Mean sample.
+        mean: f64,
+        /// Upper bound on the median.
+        p50: u64,
+        /// Upper bound on the 99th percentile.
+        p99: u64,
+    },
+    /// A windowed occupancy summary.
+    Occupancy {
+        /// Time-weighted mean concurrent occupancy.
+        mean: f64,
+        /// Peak concurrent occupancy.
+        peak: f64,
+    },
+}
+
+impl MetricValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter { .. } => "counter",
+            MetricValue::Gauge { .. } => "gauge",
+            MetricValue::Histogram { .. } => "histogram",
+            MetricValue::Occupancy { .. } => "occupancy",
+        }
+    }
+}
+
+/// Stable float formatting for the exporters: six decimal places, which is
+/// enough for ratios and means while keeping golden files byte-comparable.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// A name-sorted, schema-stable summary of every metric in a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    horizon_ps: u64,
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot over `[0, horizon_ps]`.
+    #[must_use]
+    pub fn new(horizon_ps: u64) -> Self {
+        MetricsSnapshot {
+            horizon_ps,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// The snapshot horizon in picoseconds.
+    #[must_use]
+    pub fn horizon_ps(&self) -> u64 {
+        self.horizon_ps
+    }
+
+    /// Inserts (or overwrites) a metric.
+    pub fn set(&mut self, name: &str, value: MetricValue) {
+        self.metrics.insert(name.to_string(), value);
+    }
+
+    /// Shorthand for inserting a [`MetricValue::Counter`] — the shape every
+    /// end-of-run component pull uses.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.set(name, MetricValue::Counter { value });
+    }
+
+    /// The metric under `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when no metric was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Serializes as a hand-rolled JSON object. Metrics appear in name
+    /// order, floats at fixed precision, so the output is byte-stable for
+    /// a given run — golden files and CI diffs work.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"reach-metrics-v1\",");
+        let _ = writeln!(out, "  \"horizon_ps\": {},", self.horizon_ps);
+        out.push_str("  \"metrics\": {");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": ", escape(name));
+            match v {
+                MetricValue::Counter { value } => {
+                    let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{value}}}");
+                }
+                MetricValue::Gauge { mean, last } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"gauge\",\"mean\":{},\"last\":{}}}",
+                        fmt_f64(*mean),
+                        fmt_f64(*last)
+                    );
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    p50,
+                    p99,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"histogram\",\"count\":{count},\"mean\":{},\"p50\":{p50},\"p99\":{p99}}}",
+                        fmt_f64(*mean)
+                    );
+                }
+                MetricValue::Occupancy { mean, peak } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"occupancy\",\"mean\":{},\"peak\":{}}}",
+                        fmt_f64(*mean),
+                        fmt_f64(*peak)
+                    );
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Serializes as flat CSV (one row per metric, empty cells where a
+    /// column does not apply to the metric kind).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,kind,value,count,mean,last,p50,p99,peak\n");
+        for (name, v) in &self.metrics {
+            let kind = v.kind();
+            match v {
+                MetricValue::Counter { value } => {
+                    let _ = writeln!(out, "{name},{kind},{value},,,,,,");
+                }
+                MetricValue::Gauge { mean, last } => {
+                    let _ = writeln!(
+                        out,
+                        "{name},{kind},,,{},{},,,",
+                        fmt_f64(*mean),
+                        fmt_f64(*last)
+                    );
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean,
+                    p50,
+                    p99,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{name},{kind},,{count},{},,{p50},{p99},",
+                        fmt_f64(*mean)
+                    );
+                }
+                MetricValue::Occupancy { mean, peak } => {
+                    let _ = writeln!(
+                        out,
+                        "{name},{kind},,,{},,,,{}",
+                        fmt_f64(*mean),
+                        fmt_f64(*peak)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(n: u64) -> SimTime {
+        SimTime::from_ps(n)
+    }
+
+    #[test]
+    fn handles_are_idempotent_per_name() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x.bytes");
+        let b = reg.counter("x.bytes");
+        assert_eq!(a, b);
+        reg.add(a, 3);
+        reg.inc(b);
+        assert_eq!(reg.counter_value(a), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collision_rejected() {
+        let mut reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn gauge_summarizes_time_weighted() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("q.depth");
+        reg.gauge_set(g, ps(0), 2.0);
+        reg.gauge_set(g, ps(50), 4.0);
+        let snap = reg.snapshot(ps(100));
+        match snap.get("q.depth").unwrap() {
+            MetricValue::Gauge { mean, last } => {
+                assert!((mean - 3.0).abs() < 1e-12);
+                assert_eq!(*last, 4.0);
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn windowed_gauge_tolerates_out_of_order_windows() {
+        let mut w = WindowedGauge::new();
+        // Later window recorded first: [50, 100) then [0, 50).
+        w.record(ps(50), ps(100), 1.0);
+        w.record(ps(0), ps(50), 1.0);
+        w.record(ps(25), ps(75), 1.0); // overlaps both
+        let (mean, peak) = w.summarize(ps(100));
+        assert!((mean - 1.5).abs() < 1e-12, "mean {mean}");
+        assert!((peak - 2.0).abs() < 1e-12, "peak {peak}");
+        assert_eq!(w.windows(), 3);
+    }
+
+    #[test]
+    fn windowed_gauge_empty_horizon() {
+        let w = WindowedGauge::new();
+        assert_eq!(w.summarize(SimTime::ZERO), (0.0, 0.0));
+    }
+
+    #[test]
+    fn back_to_back_windows_do_not_inflate_peak() {
+        let mut w = WindowedGauge::new();
+        w.record(ps(0), ps(10), 1.0);
+        w.record(ps(10), ps(20), 1.0);
+        let (_, peak) = w.summarize(ps(20));
+        assert!((peak - 1.0).abs() < 1e-12, "peak {peak}");
+    }
+
+    #[test]
+    fn snapshot_orders_by_name_and_counts() {
+        let mut reg = MetricsRegistry::new();
+        let b = reg.counter("b.count");
+        let a = reg.counter("a.count");
+        reg.add(b, 1);
+        reg.add(a, 2);
+        let snap = reg.snapshot(ps(10));
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.count", "b.count"]);
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.horizon_ps(), 10);
+    }
+
+    #[test]
+    fn histogram_summary_in_snapshot() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat.ps");
+        for v in [8, 9, 10, 1 << 20] {
+            reg.record(h, v);
+        }
+        let snap = reg.snapshot(ps(1));
+        match snap.get("lat.ps").unwrap() {
+            MetricValue::Histogram { count, p50, .. } => {
+                assert_eq!(*count, 4);
+                assert_eq!(*p50, 15);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut snap = MetricsSnapshot::new(0);
+        snap.set("weird\"name", MetricValue::Counter { value: 1 });
+        assert!(snap.to_json().contains("weird\\\"name"));
+    }
+
+    #[test]
+    fn set_counter_shorthand() {
+        let mut snap = MetricsSnapshot::new(5);
+        snap.set_counter("x.bytes", 42);
+        assert_eq!(
+            snap.get("x.bytes"),
+            Some(&MetricValue::Counter { value: 42 })
+        );
+    }
+}

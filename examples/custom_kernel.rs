@@ -36,6 +36,7 @@ fn main() {
         mac_efficiency: 0.5,
         pipeline_depth: 32,
         io_bytes_per_cycle: 64.0, // 12.8 GB/s at 200 MHz
+        arg_slots: 2,
     });
 
     // An on-chip aggregation kernel that reduces the filtered stream.
@@ -50,6 +51,7 @@ fn main() {
         mac_efficiency: 0.8,
         pipeline_depth: 64,
         io_bytes_per_cycle: 128.0,
+        arg_slots: 2,
     });
 
     let mut machine =
@@ -83,7 +85,11 @@ fn main() {
     cfg.set_arg(agg, 0, filtered);
     cfg.set_arg(agg, 1, result);
 
-    let mut pipeline = Pipeline::new(cfg);
+    // Validate against the machine's (extended) registry.
+    let mut pipeline = Pipeline::new(
+        cfg.build_with(machine.registry())
+            .expect("custom kernels resolve"),
+    );
     for &acc in &scan_accs {
         pipeline.call(
             acc,

@@ -46,7 +46,8 @@ fn main() {
     cfg.set_arg(knn1, 2, result);
 
     // --- host.cpp: the flow (Listing 3) ---
-    let mut pipeline = Pipeline::new(cfg);
+    // build() validates templates, arities and stream placement up front.
+    let mut pipeline = Pipeline::new(cfg.build().expect("valid configuration"));
     pipeline.call(
         cnn,
         TaskWork::compute(16 * 7_750_000_000),

@@ -1,8 +1,13 @@
 //! Negative-path coverage: the library must fail loudly and informatively
 //! on misuse, not corrupt a simulation (C-VALIDATE across the stack).
+//!
+//! Configuration mistakes are caught by `ReachConfig::build()` as typed
+//! [`ConfigError`]s; only genuinely programmatic misuse (stale handles,
+//! empty pipelines) still panics.
 
 use reach::{
-    Level, Machine, MachineBlueprint, Pipeline, ReachConfig, StreamType, SystemConfig, TaskWork,
+    ConfigError, Level, Machine, MachineBlueprint, Pipeline, ReachConfig, StreamType, SystemConfig,
+    TaskWork,
 };
 
 fn machine() -> Machine {
@@ -12,39 +17,71 @@ fn machine() -> Machine {
 #[test]
 #[should_panic(expected = "empty pipeline")]
 fn empty_pipeline_rejected() {
-    let p = Pipeline::new(ReachConfig::new());
+    let p = Pipeline::new(ReachConfig::new().build().expect("empty config builds"));
     p.run(&mut machine(), 1);
 }
 
 #[test]
-#[should_panic(expected = "zero batches")]
-fn zero_batches_rejected() {
+fn zero_batches_is_an_empty_run() {
     let mut cfg = ReachConfig::new();
     let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
-    let mut p = Pipeline::new(cfg);
+    let mut p = Pipeline::new(cfg.build().expect("valid config"));
     p.call(acc, TaskWork::compute(1), "x");
-    p.run(&mut machine(), 0);
+    let r = p.run(&mut machine(), 0);
+    assert_eq!(r.jobs, 0);
+    assert!(r.makespan.is_zero());
+}
+
+#[test]
+fn unknown_template_rejected_at_build() {
+    let mut cfg = ReachConfig::new();
+    cfg.register_acc("NOT-A-REAL-KERNEL", Level::OnChip);
+    assert!(matches!(
+        cfg.build(),
+        Err(ConfigError::UnknownTemplate { template, level })
+            if template == "NOT-A-REAL-KERNEL" && level == Level::OnChip
+    ));
 }
 
 #[test]
 #[should_panic(expected = "unknown template")]
-fn unknown_template_rejected_at_run() {
+fn unchecked_pipeline_still_panics_at_run() {
+    // The deprecated shim keeps the old mid-run failure mode.
     let mut cfg = ReachConfig::new();
     let acc = cfg.register_acc("NOT-A-REAL-KERNEL", Level::OnChip);
-    let mut p = Pipeline::new(cfg);
+    #[allow(deprecated)]
+    let mut p = Pipeline::new_unchecked(cfg);
     p.call(acc, TaskWork::compute(1), "x");
     p.run(&mut machine(), 1);
 }
 
 #[test]
-#[should_panic(expected = "unknown template VGG16-ZCU9 at on-chip")]
-fn template_level_mismatch_rejected() {
+fn template_level_mismatch_rejected_at_build() {
     // A Zynq near-memory bitstream cannot configure the on-chip Virtex slot.
     let mut cfg = ReachConfig::new();
-    let acc = cfg.register_acc("VGG16-ZCU9", Level::OnChip);
-    let mut p = Pipeline::new(cfg);
-    p.call(acc, TaskWork::compute(1), "x");
-    p.run(&mut machine(), 1);
+    cfg.register_acc("VGG16-ZCU9", Level::OnChip);
+    let err = cfg.build().unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "unknown template VGG16-ZCU9 at OnChip",
+        "error should name the template and the level"
+    );
+}
+
+#[test]
+fn out_of_arity_binding_rejected_at_build() {
+    let mut cfg = ReachConfig::new();
+    let buf = cfg.create_fixed_buffer("params", Level::OnChip, 1 << 20);
+    let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
+    cfg.set_arg(acc, 9, buf);
+    assert!(matches!(
+        cfg.build(),
+        Err(ConfigError::ArgOutOfRange {
+            slot: 9,
+            arity: 3,
+            ..
+        })
+    ));
 }
 
 #[test]
@@ -60,7 +97,7 @@ fn stale_acc_handle_rejected() {
     let mut cfg = ReachConfig::new();
     let acc = cfg.register_acc("VGG16-VU9P", Level::OnChip);
     let empty = ReachConfig::new();
-    let mut p = Pipeline::new(empty);
+    let mut p = Pipeline::new(empty.build().expect("empty config builds"));
     p.call(acc, TaskWork::compute(1), "x");
 }
 

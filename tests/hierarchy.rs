@@ -63,7 +63,7 @@ fn streams_are_cheapest_near_their_data() {
         };
         let acc = cfg.register_acc(template, level);
         cfg.set_arg(acc, 0, data);
-        let mut p = Pipeline::new(cfg);
+        let mut p = Pipeline::new(cfg.build().expect("valid config"));
         p.call(acc, TaskWork::stream(1 << 20, 1 << 30), "scan");
         let mut m = MachineBlueprint::paper().instantiate();
         p.run(&mut m, 1).makespan.as_secs_f64()
@@ -228,7 +228,7 @@ fn broadcast_transfers_once_per_level() {
         cfg.set_arg(k, 0, feats);
         consumers.push(k);
     }
-    let mut p = Pipeline::new(cfg);
+    let mut p = Pipeline::new(cfg.build().expect("valid config"));
     p.call(cnn, TaskWork::compute(1_000_000_000), "produce");
     for &k in &consumers {
         p.call(k, TaskWork::stream(1_000, 1 << 20), "consume");
