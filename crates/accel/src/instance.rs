@@ -167,9 +167,9 @@ mod tests {
     #[test]
     fn load_bills_reconfiguration_once() {
         let reg = TemplateRegistry::paper_table3();
-        let k = reg.get("VGG16-VU9P").unwrap().clone();
+        let k = *reg.get("VGG16-VU9P").unwrap();
         let mut acc = slot(ComputeLevel::OnChip);
-        let r1 = acc.load(SimTime::ZERO, k.clone());
+        let r1 = acc.load(SimTime::ZERO, k);
         assert_eq!(r1, SimTime::ZERO + SimDuration::from_us(500));
         // Reloading the same kernel is free.
         let r2 = acc.load(r1, k);
@@ -181,8 +181,8 @@ mod tests {
     fn swapping_kernels_bills_again() {
         let reg = TemplateRegistry::paper_table3();
         let mut acc = slot(ComputeLevel::OnChip);
-        acc.load(SimTime::ZERO, reg.get("VGG16-VU9P").unwrap().clone());
-        acc.load(SimTime::ZERO, reg.get("GEMM-VU9P").unwrap().clone());
+        acc.load(SimTime::ZERO, *reg.get("VGG16-VU9P").unwrap());
+        acc.load(SimTime::ZERO, *reg.get("GEMM-VU9P").unwrap());
         assert_eq!(acc.stats().reconfigurations, 2);
         assert_eq!(acc.loaded().unwrap().name, "GEMM-VU9P");
     }
@@ -191,7 +191,7 @@ mod tests {
     fn tasks_serialize_on_one_slot() {
         let reg = TemplateRegistry::paper_table3();
         let mut acc = slot(ComputeLevel::OnChip);
-        let t0 = acc.load(SimTime::ZERO, reg.get("KNN-VU9P").unwrap().clone());
+        let t0 = acc.load(SimTime::ZERO, *reg.get("KNN-VU9P").unwrap());
         let a = acc.run(t0, SimDuration::from_ms(2));
         let b = acc.run(t0, SimDuration::from_ms(2));
         assert_eq!(b.start, a.ready);
@@ -207,7 +207,7 @@ mod tests {
     fn level_mismatch_rejected() {
         let reg = TemplateRegistry::paper_table3();
         let mut acc = slot(ComputeLevel::NearMemory);
-        acc.load(SimTime::ZERO, reg.get("VGG16-VU9P").unwrap().clone());
+        acc.load(SimTime::ZERO, *reg.get("VGG16-VU9P").unwrap());
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         let reg = TemplateRegistry::paper_table3();
         let mut acc = slot(ComputeLevel::OnChip);
         assert_eq!(acc.active_power_w(), 0.0);
-        acc.load(SimTime::ZERO, reg.get("VGG16-VU9P").unwrap().clone());
+        acc.load(SimTime::ZERO, *reg.get("VGG16-VU9P").unwrap());
         assert!((acc.active_power_w() - 25.0).abs() < 1e-9);
     }
 }

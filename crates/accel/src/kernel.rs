@@ -72,7 +72,7 @@ impl fmt::Display for KernelClass {
 
 /// A synthesized kernel: everything the simulator needs to time and power
 /// one accelerator configuration.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct KernelSpec {
     /// Template name, e.g. `"VGG16-VU9P"`.
     pub name: &'static str,

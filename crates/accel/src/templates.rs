@@ -193,6 +193,26 @@ impl TemplateRegistry {
             .find(|s| s.name == name && s.level == level)
     }
 
+    /// Like [`Self::resolve`] but returns a stable index usable with
+    /// [`Self::spec_at`]. Callers on a hot path resolve once at submit time
+    /// and index per dispatch, skipping the string comparison entirely.
+    #[must_use]
+    pub fn resolve_index(&self, name: &str, level: ComputeLevel) -> Option<usize> {
+        self.specs
+            .iter()
+            .position(|s| s.name == name && s.level == level)
+    }
+
+    /// The template at `index` (as returned by [`Self::resolve_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn spec_at(&self, index: usize) -> &KernelSpec {
+        &self.specs[index]
+    }
+
     /// Iterates over every registered template.
     pub fn iter(&self) -> impl Iterator<Item = &KernelSpec> {
         self.specs.iter()
@@ -272,7 +292,7 @@ mod tests {
     #[should_panic(expected = "duplicate template")]
     fn duplicate_registration_rejected() {
         let mut reg = TemplateRegistry::paper_table3();
-        let spec = reg.get("VGG16-VU9P").unwrap().clone();
+        let spec = *reg.get("VGG16-VU9P").unwrap();
         reg.register(spec);
     }
 

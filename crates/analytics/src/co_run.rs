@@ -128,11 +128,11 @@ pub fn co_run_interference_with(
             move |machine| {
                 let cbir_p = cbir.build(machine);
                 for batch in 0..cbir_batches {
-                    let (job, works) = cbir_p.job_for_batch(machine, batch as u64);
+                    let (job, works) = cbir_p.job_for_batch(batch as u64);
                     machine.submit(job, works);
                 }
                 let scan_p = scan_pipeline(&query, shards);
-                let (scan_job, scan_works) = scan_p.job_for_batch(machine, 512);
+                let (scan_job, scan_works) = scan_p.job_for_batch(512);
                 machine.submit(scan_job, scan_works);
                 machine.run()
             },

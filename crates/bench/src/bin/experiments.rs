@@ -22,8 +22,17 @@
 use reach::{ScenarioExecutor, SequentialExecutor};
 use reach_bench::runner::{CountingExecutor, RecordingExecutor};
 use reach_bench::{BenchEntry, ScenarioRunner};
+use reach_sim::{MetricValue, MetricsSnapshot};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Final value of an engine counter in a telemetry snapshot (0 if absent).
+fn engine_counter(metrics: &MetricsSnapshot, name: &str) -> u64 {
+    match metrics.get(name) {
+        Some(MetricValue::Counter { value }) => *value,
+        _ => 0,
+    }
+}
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -109,11 +118,27 @@ fn main() -> ExitCode {
         }
         let exp_started = Instant::now();
         print!("{}", render(&executor));
+        let wall_s = exp_started.elapsed().as_secs_f64();
         let scenarios = recording.drain();
+        // Engine load per experiment — stderr only, so stdout stays
+        // byte-comparable across job counts.
+        let events: u64 = scenarios
+            .iter()
+            .map(|s| engine_counter(&s.metrics, "engine.events_processed"))
+            .sum();
+        let peak_depth = scenarios
+            .iter()
+            .map(|s| engine_counter(&s.metrics, "engine.queue_depth_peak"))
+            .max()
+            .unwrap_or(0);
+        eprintln!(
+            "  {id}: {events} event(s), {:.0} event/s, peak queue depth {peak_depth}",
+            events as f64 / wall_s.max(1e-9)
+        );
         captured.extend(scenarios.iter().cloned());
         entries.push(BenchEntry {
             id: (*id).to_string(),
-            wall_s: exp_started.elapsed().as_secs_f64(),
+            wall_s,
             scenarios,
         });
     }

@@ -39,8 +39,32 @@ pub struct Clustering {
 ///
 /// Panics if `k` is zero or exceeds the number of points.
 #[must_use]
-#[allow(clippy::needless_range_loop)] // parallel-indexed arrays; enumerate obscures
 pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut impl Rng) -> Clustering {
+    let n = points.rows();
+    // The assignment scan is embarrassingly parallel per point; fan out in
+    // fixed chunks (see `crate::par`) when the scan is worth a thread
+    // spawn.
+    let assign_jobs = if n > crate::par::CHUNK_ROWS && n * k * points.cols() >= 1 << 20 {
+        crate::par::kernel_jobs()
+    } else {
+        1
+    };
+    kmeans_jobs(points, k, max_iters, rng, assign_jobs)
+}
+
+/// [`kmeans`] with an explicit assignment worker count, bypassing the size
+/// gate. Exposed (hidden) so the determinism suite can prove the parallel
+/// and sequential assignment paths produce bit-identical clusterings.
+#[doc(hidden)]
+#[must_use]
+#[allow(clippy::needless_range_loop)] // parallel-indexed arrays; enumerate obscures
+pub fn kmeans_jobs(
+    points: &Matrix,
+    k: usize,
+    max_iters: usize,
+    rng: &mut impl Rng,
+    assign_jobs: usize,
+) -> Clustering {
     let n = points.rows();
     let d = points.cols();
     assert!(k > 0 && k <= n, "kmeans: k={k} out of range for {n} points");
@@ -79,23 +103,45 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut impl Rng) -
 
     // --- Lloyd iterations ---
     let mut assignments = vec![0usize; n];
+    let mut best_dists = vec![0.0f32; n];
+    // Each point's nearest-centroid search is the same scalar loop on the
+    // sequential and fanned-out paths, and the inertia is reduced
+    // sequentially in point order below, so the clustering is
+    // byte-identical at any worker count.
     let mut inertia = f64::INFINITY;
     let mut iterations = 0;
     for it in 0..max_iters {
         iterations = it + 1;
         // Assign.
-        let mut new_inertia = 0.0f64;
-        for i in 0..n {
-            let (mut best, mut best_d) = (0usize, f32::INFINITY);
-            for c in 0..k {
-                let dd = dist_sq(points.row(i), centroids.row(c));
-                if dd < best_d {
-                    best = c;
-                    best_d = dd;
+        {
+            let centroids = &centroids;
+            let chunks: Vec<(usize, &mut [usize], &mut [f32])> = assignments
+                .chunks_mut(crate::par::CHUNK_ROWS)
+                .zip(best_dists.chunks_mut(crate::par::CHUNK_ROWS))
+                .enumerate()
+                .map(|(ch, (asn, dst))| (ch * crate::par::CHUNK_ROWS, asn, dst))
+                .collect();
+            crate::par::run_items(chunks, assign_jobs, |(i0, asn, dst)| {
+                for (off, (a_slot, d_slot)) in asn.iter_mut().zip(dst.iter_mut()).enumerate() {
+                    let row = points.row(i0 + off);
+                    let (mut best, mut best_d) = (0usize, f32::INFINITY);
+                    for c in 0..k {
+                        let dd = dist_sq(row, centroids.row(c));
+                        if dd < best_d {
+                            best = c;
+                            best_d = dd;
+                        }
+                    }
+                    *a_slot = best;
+                    *d_slot = best_d;
                 }
-            }
-            assignments[i] = best;
-            new_inertia += f64::from(best_d);
+            });
+        }
+        // Reduce in point order — the same f64 accumulation sequence the
+        // sequential loop performed, regardless of chunk scheduling.
+        let mut new_inertia = 0.0f64;
+        for &bd in &best_dists {
+            new_inertia += f64::from(bd);
         }
         // Update.
         let mut sums = vec![0.0f64; k * d];

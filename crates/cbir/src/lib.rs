@@ -31,6 +31,7 @@ pub mod features;
 pub mod ivf;
 pub mod kmeans;
 pub mod linalg;
+pub(crate) mod par;
 pub mod pca;
 pub mod pipeline;
 pub mod pq;

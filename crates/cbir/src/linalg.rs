@@ -85,39 +85,81 @@ impl Matrix {
     }
 }
 
-/// `C = A x B^T` — blocked for cache friendliness. `A` is `m x k`, `B` is
-/// `n x k` (both row-major), result is `m x n`. Taking `B` row-major with
-/// rows as the *right* operand's columns matches how the centroid matrix is
-/// stored "in columnar fashion" in the paper.
+/// `C = A x B^T` — blocked for cache reuse and parallelized over row
+/// chunks. `A` is `m x k`, `B` is `n x k` (both row-major), result is
+/// `m x n`. Taking `B` row-major with rows as the *right* operand's columns
+/// is an explicitly transposed layout: the inner loop walks two contiguous
+/// rows, which matches how the centroid matrix is stored "in columnar
+/// fashion" in the paper.
+///
+/// Large products fan out across threads in fixed 64-row chunks (see
+/// [`crate::par`]); every output element is accumulated by the same scalar
+/// `t`-ordered loop on either path, so the result is byte-identical at any
+/// worker count.
 ///
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree.
 #[must_use]
 pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    // Fan out only when the product is worth a thread spawn and there is
+    // more than one chunk of output rows to hand out.
+    let flops = a.rows * b.rows * a.cols;
+    let jobs = if a.rows > crate::par::CHUNK_ROWS && flops >= 1 << 20 {
+        crate::par::kernel_jobs()
+    } else {
+        1
+    };
+    gemm_nt_jobs(a, b, jobs)
+}
+
+/// [`gemm_nt`] with an explicit worker count, bypassing the size gate.
+/// Exposed (hidden) so the determinism suite can prove the parallel and
+/// sequential paths produce bit-identical output.
+#[doc(hidden)]
+#[must_use]
+pub fn gemm_nt_jobs(a: &Matrix, b: &Matrix, jobs: usize) -> Matrix {
     assert_eq!(
         a.cols, b.cols,
         "gemm_nt: inner dimensions {} vs {}",
         a.cols, b.cols
     );
     let mut c = Matrix::zeros(a.rows, b.rows);
+    let n = b.rows;
+    let chunks: Vec<(usize, &mut [f32])> = c
+        .data
+        .chunks_mut(crate::par::CHUNK_ROWS * n)
+        .enumerate()
+        .map(|(ch, slice)| (ch * crate::par::CHUNK_ROWS, slice))
+        .collect();
+    crate::par::run_items(chunks, jobs, |(row0, out)| {
+        gemm_nt_rows(a, b, row0, out);
+    });
+    c
+}
+
+/// Computes rows `row0 ..` of `C = A x B^T` into `out` (a contiguous
+/// row-major slice of whole rows). One scalar accumulation order per output
+/// element, independent of how rows are grouped into chunks.
+fn gemm_nt_rows(a: &Matrix, b: &Matrix, row0: usize, out: &mut [f32]) {
     const BLOCK: usize = 32;
-    for i0 in (0..a.rows).step_by(BLOCK) {
-        for j0 in (0..b.rows).step_by(BLOCK) {
-            for i in i0..(i0 + BLOCK).min(a.rows) {
-                let ar = a.row(i);
-                for j in j0..(j0 + BLOCK).min(b.rows) {
+    let n = b.rows;
+    let rows = out.len() / n;
+    for i0 in (0..rows).step_by(BLOCK) {
+        for j0 in (0..n).step_by(BLOCK) {
+            for i in i0..(i0 + BLOCK).min(rows) {
+                let ar = a.row(row0 + i);
+                for j in j0..(j0 + BLOCK).min(n) {
                     let br = b.row(j);
                     let mut acc = 0.0f32;
                     for t in 0..a.cols {
                         acc += ar[t] * br[t];
                     }
-                    c.row_mut(i)[j] = acc;
+                    out[i * n + j] = acc;
                 }
             }
         }
     }
-    c
 }
 
 /// Squared L2 norm of a vector.

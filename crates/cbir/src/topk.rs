@@ -56,14 +56,26 @@ pub fn top_k(items: impl IntoIterator<Item = (f32, usize)>, k: usize) -> Vec<(f3
         return Vec::new();
     }
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+    // Cache the current k-th best (the heap root) so a candidate that
+    // cannot enter the top-K is rejected on one comparison, without even
+    // peeking the heap. On realistic distance streams most candidates lose,
+    // so this is the common path.
+    let mut worst = Candidate {
+        dist: f32::INFINITY,
+        index: usize::MAX,
+    };
     for (dist, index) in items {
         assert!(!dist.is_nan(), "top_k: NaN distance for index {index}");
         let c = Candidate { dist, index };
         if heap.len() < k {
             heap.push(c);
-        } else if c < *heap.peek().expect("non-empty heap") {
+            if heap.len() == k {
+                worst = *heap.peek().expect("non-empty heap");
+            }
+        } else if c < worst {
             heap.pop();
             heap.push(c);
+            worst = *heap.peek().expect("non-empty heap");
         }
     }
     let mut out: Vec<Candidate> = heap.into_vec();

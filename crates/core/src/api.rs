@@ -483,7 +483,7 @@ impl ReachConfig {
                     });
                 }
             }
-            kernels.push(kernel.clone());
+            kernels.push(*kernel);
         }
         Ok(ValidatedConfig {
             config: self,
@@ -529,34 +529,22 @@ struct Call {
 #[derive(Clone, Debug)]
 pub struct Pipeline {
     config: ReachConfig,
-    /// Resolved kernels, parallel to the config's accelerators. `Some` for
-    /// validated pipelines; `None` for the deprecated unchecked path,
-    /// which resolves against the machine's registry at job-build time.
-    kernels: Option<Vec<KernelSpec>>,
+    /// Resolved kernels, parallel to the config's accelerators. Captured at
+    /// [`ReachConfig::build`] time, so job building never consults a
+    /// registry and cannot fail mid-run.
+    kernels: Vec<KernelSpec>,
     calls: Vec<Call>,
 }
 
 impl Pipeline {
-    /// Wraps a validated configuration.
+    /// Wraps a validated configuration. [`ReachConfig::build`] is the only
+    /// way to obtain one, so every pipeline's templates are resolved and
+    /// its bindings checked before the first batch is built.
     #[must_use]
     pub fn new(config: ValidatedConfig) -> Self {
         Pipeline {
             config: config.config,
-            kernels: Some(config.kernels),
-            calls: Vec::new(),
-        }
-    }
-
-    /// Wraps a raw configuration without validating it. Template resolution
-    /// happens per batch against the machine's registry and **panics** on
-    /// an unknown template — exactly the mid-run failure
-    /// [`ReachConfig::build`] exists to catch.
-    #[deprecated(note = "validate with ReachConfig::build() and use Pipeline::new")]
-    #[must_use]
-    pub fn new_unchecked(config: ReachConfig) -> Self {
-        Pipeline {
-            config,
-            kernels: None,
+            kernels: config.kernels,
             calls: Vec::new(),
         }
     }
@@ -600,13 +588,12 @@ impl Pipeline {
     ///
     /// # Panics
     ///
-    /// Panics if the pipeline is empty, or (on the deprecated unchecked
-    /// path only) a template cannot be resolved.
+    /// Panics if the pipeline is empty.
     pub fn run_mode(&self, machine: &mut Machine, batches: usize, mode: ExecMode) -> RunReport {
         assert!(!self.calls.is_empty(), "Pipeline::run_mode: empty pipeline");
         let mut report = None;
         for batch in 0..batches {
-            let (job, works) = self.build_job(machine, batch as u64);
+            let (job, works) = self.build_job(batch as u64);
             machine.submit(job, works);
             if mode == ExecMode::Sequential {
                 report = Some(machine.run());
@@ -642,20 +629,12 @@ impl Pipeline {
     /// submitting it — used by deferred-submission drivers such as
     /// [`crate::host::drive`].
     #[must_use]
-    pub fn job_for_batch(
-        &self,
-        machine: &Machine,
-        batch: u64,
-    ) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
-        self.build_job(machine, batch)
+    pub fn job_for_batch(&self, batch: u64) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
+        self.build_job(batch)
     }
 
     /// Builds the GAM job for one batch.
-    fn build_job(
-        &self,
-        machine: &Machine,
-        batch: u64,
-    ) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
+    fn build_job(&self, batch: u64) -> (reach_gam::Job, HashMap<TaskId, TaskWork>) {
         let mut b = JobBuilder::new(batch);
         let mut works = HashMap::new();
 
@@ -710,17 +689,9 @@ impl Pipeline {
         for (ci, call) in self.calls.iter().enumerate() {
             let acc = &self.config.accs[call.acc.0];
             let level = acc.level.compute_level();
-            let kernel = match &self.kernels {
-                // Validated pipeline: the kernel was resolved (and the
-                // binding checked) at ReachConfig::build time.
-                Some(kernels) => &kernels[call.acc.0],
-                None => machine
-                    .registry()
-                    .resolve(&acc.template, level)
-                    .unwrap_or_else(|| {
-                        panic!("Pipeline: unknown template {} at {level}", acc.template)
-                    }),
-            };
+            // The kernel was resolved (and the binding checked) at
+            // ReachConfig::build time.
+            let kernel = &self.kernels[call.acc.0];
 
             let mut inputs = Vec::new();
             let mut outputs = Vec::new();
@@ -956,11 +927,12 @@ mod tests {
     }
 
     #[test]
-    fn unchecked_pipeline_still_runs() {
+    fn validated_pipeline_runs_without_registry_lookups() {
+        // The kernels captured at build time are the whole story: a job
+        // builds and runs against a machine without consulting its registry.
         let mut cfg = ReachConfig::new();
         let cnn = cfg.register_acc("VGG16-VU9P", Level::OnChip);
-        #[allow(deprecated)]
-        let mut p = Pipeline::new_unchecked(cfg);
+        let mut p = Pipeline::new(cfg.build().expect("valid config"));
         p.call(cnn, TaskWork::compute(1_000_000_000), "fe");
         let mut m = Machine::new(SystemConfig::paper_table2());
         assert_eq!(p.run(&mut m, 1).jobs, 1);

@@ -160,7 +160,7 @@ pub fn drive(
 ) -> QueryLatencyReport {
     assert!(!batches.is_empty(), "host::drive: no batches");
     for (i, b) in batches.iter().enumerate() {
-        let (job, works) = pipeline.job_for_batch(machine, i as u64);
+        let (job, works) = pipeline.job_for_batch(i as u64);
         machine.submit_at(b.ready_at, job, works);
     }
     let run = machine.run();

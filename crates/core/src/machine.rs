@@ -42,7 +42,7 @@ use reach_gam::{Job, JobId, TaskId};
 use reach_mem::{
     AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig,
 };
-use reach_sim::{EventQueue, SimDuration, SimTime};
+use reach_sim::{EventQueue, SimDuration, SimTime, Symbol};
 use reach_storage::{NearStorageDevice, PcieSwitch};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -85,9 +85,15 @@ impl StageAcct {
     }
 }
 
+/// Per-task state, flattened to `Copy` fields so the dispatch path reads it
+/// without cloning anything.
 struct TaskMeta {
-    work: TaskWork,
-    stage: String,
+    macs: u64,
+    access: DataAccess,
+    stage: Symbol,
+    /// Registry index of the task's kernel, resolved once at submit time so
+    /// dispatch never repeats the string lookup.
+    kernel: usize,
     actual_finish: Option<SimTime>,
     acc: Option<AcceleratorId>,
 }
@@ -95,7 +101,7 @@ struct TaskMeta {
 struct DmaMeta {
     /// Stage the transfer was billed to (kept for debugging dumps).
     #[allow(dead_code)]
-    stage: String,
+    stage: Symbol,
 }
 
 /// The assembled ReACH machine.
@@ -114,20 +120,25 @@ pub struct Machine {
     host_switch: PcieSwitch,
     ns_devices: Vec<NearStorageDevice>,
     accelerators: BTreeMap<AcceleratorId, Accelerator>,
-    acc_stage_busy: BTreeMap<(AcceleratorId, String), SimDuration>,
+    acc_stage_busy: BTreeMap<(AcceleratorId, Symbol), SimDuration>,
     gam: Gam,
     queue: EventQueue<Event>,
     tasks: HashMap<TaskId, TaskMeta>,
-    task_template: HashMap<TaskId, String>,
     dmas: HashMap<DmaId, DmaMeta>,
     job_submit: BTreeMap<JobId, SimTime>,
     job_done: BTreeMap<JobId, SimTime>,
     job_latency: Vec<SimDuration>,
-    stages: BTreeMap<String, StageAcct>,
+    /// Symbol-keyed so per-event accounting hashes a `u32`, not a string.
+    /// Report building sorts by the resolved name to keep output stable.
+    stages: HashMap<Symbol, StageAcct>,
+    /// Fallback stage for DMAs whose consumer task is already retired.
+    sym_transfer: Symbol,
     ns_cursor: u64,
     deferred: Vec<Option<Job>>,
     trace: Option<Trace>,
     metrics: MachineMetrics,
+    events_processed: u64,
+    queue_depth_peak: usize,
 }
 
 impl Machine {
@@ -185,6 +196,14 @@ impl Machine {
             .map(|i| AimModule::new(i % nm_mc_cfg.channels, i / nm_mc_cfg.channels))
             .collect();
 
+        // Pending events are bounded by in-flight work: at most one
+        // completion/poll per accelerator, plus staging DMAs and deferred
+        // submissions. Pre-sizing from the blueprint keeps the heap from
+        // reallocating mid-run.
+        let instances =
+            cfg.onchip_accelerators + cfg.near_memory_accelerators + cfg.near_storage_accelerators;
+        let queue_capacity = 4 * instances + 32;
+
         Machine {
             presets,
             registry,
@@ -204,18 +223,20 @@ impl Machine {
             accelerators,
             acc_stage_busy: BTreeMap::new(),
             gam: Gam::new(cfg.gam),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(queue_capacity),
             tasks: HashMap::new(),
-            task_template: HashMap::new(),
             dmas: HashMap::new(),
             job_submit: BTreeMap::new(),
             job_done: BTreeMap::new(),
             job_latency: Vec::new(),
-            stages: BTreeMap::new(),
+            stages: HashMap::new(),
+            sym_transfer: Symbol::intern("transfer"),
             ns_cursor: 0,
             deferred: Vec::new(),
             trace: None,
             metrics: MachineMetrics::new(),
+            events_processed: 0,
+            queue_depth_peak: 0,
             cfg,
         }
         .install_gam(gam)
@@ -263,25 +284,30 @@ impl Machine {
             let work = works
                 .get(&t.id)
                 .unwrap_or_else(|| panic!("Machine::submit: no TaskWork for {}", t.id));
-            assert!(
-                self.registry.resolve(&t.template, t.level).is_some(),
-                "Machine::submit: unknown template {} at {}",
-                t.template,
-                t.level
-            );
-            let stage = work.stage_label.clone().unwrap_or_else(|| t.stage.clone());
-            self.task_template.insert(t.id, t.template.clone());
+            let kernel = self
+                .registry
+                .resolve_index(t.template.resolve(), t.level)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "Machine::submit: unknown template {} at {}",
+                        t.template, t.level
+                    )
+                });
+            let stage = work.stage_label.as_deref().map_or(t.stage, Symbol::intern);
             self.tasks.insert(
                 t.id,
                 TaskMeta {
-                    work: work.clone(),
+                    macs: work.macs,
+                    access: work.access,
                     stage,
+                    kernel,
                     actual_finish: None,
                     acc: None,
                 },
             );
         }
         self.job_submit.insert(job.id, self.queue.now());
+        self.queue.reserve(job.tasks.len());
         let actions = self.gam.submit_job(job);
         self.process_actions(actions);
         self.sample_queues();
@@ -299,19 +325,23 @@ impl Machine {
             let work = works
                 .get(&t.id)
                 .unwrap_or_else(|| panic!("Machine::submit_at: no TaskWork for {}", t.id));
-            assert!(
-                self.registry.resolve(&t.template, t.level).is_some(),
-                "Machine::submit_at: unknown template {} at {}",
-                t.template,
-                t.level
-            );
-            let stage = work.stage_label.clone().unwrap_or_else(|| t.stage.clone());
-            self.task_template.insert(t.id, t.template.clone());
+            let kernel = self
+                .registry
+                .resolve_index(t.template.resolve(), t.level)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "Machine::submit_at: unknown template {} at {}",
+                        t.template, t.level
+                    )
+                });
+            let stage = work.stage_label.as_deref().map_or(t.stage, Symbol::intern);
             self.tasks.insert(
                 t.id,
                 TaskMeta {
-                    work: work.clone(),
+                    macs: work.macs,
+                    access: work.access,
                     stage,
+                    kernel,
                     actual_finish: None,
                     acc: None,
                 },
@@ -323,59 +353,77 @@ impl Machine {
     }
 
     /// Drains the event queue and produces the run report.
+    ///
+    /// Events are drained one *instant* at a time through a reusable scratch
+    /// buffer ([`EventQueue::pop_batch_into`]) instead of re-popping the
+    /// heap per event. The observable order is identical to repeated `pop`:
+    /// anything scheduled while a batch is processed carries a later
+    /// sequence number than every event already drained.
     pub fn run(&mut self) -> RunReport {
-        while let Some((now, ev)) = self.queue.pop() {
-            match ev {
-                Event::TaskDone { task } => {
-                    let actions = self.gam.complete(task);
-                    self.record_host_interrupts(&actions, now);
-                    self.process_actions(actions);
-                }
-                Event::Poll { task } => {
-                    let af = self.tasks[&task]
-                        .actual_finish
-                        .expect("polled task has a finish time");
-                    if let Some(trace) = &mut self.trace {
-                        let meta = &self.tasks[&task];
-                        let acc = meta.acc.expect("polled task placed");
-                        trace.record(TraceEvent {
-                            name: format!("poll {}", meta.stage),
-                            kind: TraceKind::Poll,
-                            track: acc.level.to_string(),
-                            lane: acc.index,
-                            start: now,
-                            duration: self.cfg.gam.poll_latency,
-                        });
-                    }
-                    if af <= now {
+        let mut batch: Vec<Event> = Vec::new();
+        while let Some(now) = self.queue.pop_batch_into(&mut batch) {
+            self.queue_depth_peak = self.queue_depth_peak.max(self.queue.len() + batch.len());
+            for ev in batch.drain(..) {
+                self.events_processed += 1;
+                match ev {
+                    Event::TaskDone { task } => {
                         let actions = self.gam.complete(task);
                         self.record_host_interrupts(&actions, now);
                         self.process_actions(actions);
-                    } else {
-                        let actions = self.gam.poll_missed(task, now, af.since(now));
+                    }
+                    Event::Poll { task } => {
+                        let af = self.tasks[&task]
+                            .actual_finish
+                            .expect("polled task has a finish time");
+                        if self.trace.is_some() {
+                            self.record_poll_trace(task, now);
+                        }
+                        if af <= now {
+                            let actions = self.gam.complete(task);
+                            self.record_host_interrupts(&actions, now);
+                            self.process_actions(actions);
+                        } else {
+                            let actions = self.gam.poll_missed(task, now, af.since(now));
+                            self.process_actions(actions);
+                        }
+                    }
+                    Event::DmaDone { id } => {
+                        let actions = self.gam.dma_finished(id);
+                        self.process_actions(actions);
+                    }
+                    Event::SubmitJob { index } => {
+                        let job = self.deferred[index]
+                            .take()
+                            .expect("deferred job submitted twice");
+                        self.job_submit.insert(job.id, now);
+                        let actions = self.gam.submit_job(job);
                         self.process_actions(actions);
                     }
                 }
-                Event::DmaDone { id } => {
-                    let actions = self.gam.dma_finished(id);
-                    self.process_actions(actions);
-                }
-                Event::SubmitJob { index } => {
-                    let job = self.deferred[index]
-                        .take()
-                        .expect("deferred job submitted twice");
-                    self.job_submit.insert(job.id, now);
-                    let actions = self.gam.submit_job(job);
-                    self.process_actions(actions);
-                }
+                self.sample_queues();
             }
-            self.sample_queues();
         }
         assert!(
             self.gam.idle(),
             "Machine::run: queue drained but GAM not idle"
         );
         self.report()
+    }
+
+    /// Trace recording is opt-in and string-heavy; kept out of the hot loop.
+    #[cold]
+    fn record_poll_trace(&mut self, task: TaskId, now: SimTime) {
+        let meta = &self.tasks[&task];
+        let acc = meta.acc.expect("polled task placed");
+        let ev = TraceEvent {
+            name: format!("poll {}", meta.stage),
+            kind: TraceKind::Poll,
+            track: acc.level.to_string(),
+            lane: acc.index,
+            start: now,
+            duration: self.cfg.gam.poll_latency,
+        };
+        self.trace.as_mut().expect("trace enabled").record(ev);
     }
 
     /// Samples the GAM ready-queue depth at every level. Called after each
@@ -424,22 +472,24 @@ impl Machine {
     // ----------------------------------------------------------------- //
 
     fn dispatch(&mut self, acc_id: AcceleratorId, task: TaskId) {
-        let (stage, work) = {
+        let (stage, macs, access, kernel_idx) = {
             let meta = &self.tasks[&task];
-            (meta.stage.clone(), meta.work.clone())
+            (meta.stage, meta.macs, meta.access, meta.kernel)
         };
-        let kernel = self.resolve_kernel(task, acc_id.level);
+        // Resolved to a registry index at submit time; `KernelSpec` is
+        // `Copy`, so dispatch performs no lookup and no heap traffic.
+        let kernel = *self.registry.spec_at(kernel_idx);
         let now = self.queue.now();
         let command = self.cfg.gam.command_latency;
         let accel = self
             .accelerators
             .get_mut(&acc_id)
             .expect("dispatch to registered accelerator");
-        let ready = accel.load(now + command, kernel.clone());
+        let ready = accel.load(now + command, kernel);
 
-        let compute = kernel.compute_time(work.macs);
+        let compute = kernel.compute_time(macs);
         let io_rate = kernel.io_rate_bytes_per_sec();
-        let data_end = self.price_data(acc_id, ready, &work.access, io_rate, &stage);
+        let data_end = self.price_data(acc_id, ready, &access, io_rate, stage);
         let duration = compute.max(data_end.since(ready));
 
         let accel = self
@@ -453,25 +503,18 @@ impl Machine {
         self.metrics
             .task_executed(acc_id.level, res.start, finish, duration);
         let power = kernel.power_w;
-        let acct = self.stages.entry(stage.clone()).or_default();
+        let acct = self.stages.entry(stage).or_default();
         acct.acc_active_j += power * duration.as_secs_f64();
         acct.acc_busy += duration;
         acct.tasks += 1;
         acct.widen(res.start, finish);
         *self
             .acc_stage_busy
-            .entry((acc_id, stage.clone()))
+            .entry((acc_id, stage))
             .or_insert(SimDuration::ZERO) += duration;
 
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent {
-                name: stage.clone(),
-                kind: TraceKind::Task,
-                track: acc_id.level.to_string(),
-                lane: acc_id.index,
-                start: res.start,
-                duration: finish.since(res.start),
-            });
+        if self.trace.is_some() {
+            self.record_task_trace(stage, acc_id, res.start, finish);
         }
         let meta = self.tasks.get_mut(&task).expect("task meta");
         meta.actual_finish = Some(finish);
@@ -487,18 +530,23 @@ impl Machine {
         }
     }
 
-    fn resolve_kernel(&self, task: TaskId, level: ComputeLevel) -> reach_accel::KernelSpec {
-        // The template string is stored on the GAM task; we kept a parallel
-        // copy at submit time through validation, so scan the registry for
-        // the level and template recorded then.
-        let name = self
-            .task_template
-            .get(&task)
-            .expect("template recorded at submit");
-        self.registry
-            .resolve(name, level)
-            .unwrap_or_else(|| panic!("template {name} not found at {level}"))
-            .clone()
+    #[cold]
+    fn record_task_trace(
+        &mut self,
+        stage: Symbol,
+        acc_id: AcceleratorId,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let ev = TraceEvent {
+            name: stage.resolve().to_string(),
+            kind: TraceKind::Task,
+            track: acc_id.level.to_string(),
+            lane: acc_id.index,
+            start,
+            duration: end.since(start),
+        };
+        self.trace.as_mut().expect("trace enabled").record(ev);
     }
 
     /// Prices the data movement of `access` performed from level
@@ -510,7 +558,7 @@ impl Machine {
         ready: SimTime,
         access: &DataAccess,
         io_rate: Option<f64>,
-        stage: &str,
+        stage: Symbol,
     ) -> SimTime {
         let bytes = access.bytes();
         if bytes == 0 {
@@ -534,7 +582,7 @@ impl Machine {
                     .transfer(ready, NocPort::Cache, NocPort::Accelerator, *bytes);
                 let coherent =
                     SimDuration::from_secs_f64(*bytes as f64 / self.cfg.onchip_stream_rate());
-                let acct = self.stages.entry(stage.to_string()).or_default();
+                let acct = self.stages.entry(stage).or_default();
                 acct.dram_bytes += bytes;
                 acct.dram_activations += bytes / self.cfg.host_mc.dimm.row_bytes;
                 acct.interconnect_bytes += bytes;
@@ -558,7 +606,7 @@ impl Machine {
                 let latency_bound = (self.cfg.onchip_gather_latency.scaled(records)
                     + self.cfg.page_walk_latency.scaled(walks))
                 .div_ceil(mshr);
-                let acct = self.stages.entry(stage.to_string()).or_default();
+                let acct = self.stages.entry(stage).or_default();
                 acct.dram_bytes += bytes;
                 acct.dram_activations += records;
                 acct.interconnect_bytes += bytes;
@@ -580,7 +628,7 @@ impl Machine {
                 let t = self.cfg.nm_dimm.timing;
                 let per_record = t.conflict_latency();
                 let overhead = per_record.scaled(records);
-                let acct = self.stages.entry(stage.to_string()).or_default();
+                let acct = self.stages.entry(stage).or_default();
                 acct.dram_activations += records;
                 end.max(ready + overhead).max(ready + kernel_floor(*bytes))
             }
@@ -590,7 +638,7 @@ impl Machine {
                 let addr = self.ns_cursor % (dev.config().ssd.capacity / 2);
                 self.ns_cursor = self.ns_cursor.wrapping_add(*bytes);
                 let (res, _) = dev.device_read(ready, addr, *bytes);
-                let acct = self.stages.entry(stage.to_string()).or_default();
+                let acct = self.stages.entry(stage).or_default();
                 acct.ssd_bytes += bytes;
                 acct.ssd_busy += SimDuration::from_secs_f64(
                     *bytes as f64 / dev.config().ssd.internal_bandwidth().as_bytes_per_sec() as f64,
@@ -613,7 +661,7 @@ impl Machine {
                 let addr = self.ns_cursor % (dev.config().ssd.capacity / 2);
                 self.ns_cursor = self.ns_cursor.wrapping_add(*bytes);
                 let (res, _) = dev.device_read(ready, addr, *bytes);
-                let acct = self.stages.entry(stage.to_string()).or_default();
+                let acct = self.stages.entry(stage).or_default();
                 acct.ssd_bytes += bytes;
                 acct.ssd_busy += SimDuration::from_secs_f64(
                     *bytes as f64 / dev.config().ssd.internal_bandwidth().as_bytes_per_sec() as f64,
@@ -631,7 +679,7 @@ impl Machine {
     /// interleaving, only `1/n` of the module's working set is local; the
     /// remainder arrives from the other modules over the shared AIMbus —
     /// the inter-DIMM path the AIM memory-access filter provides.
-    fn nm_stream(&mut self, index: usize, ready: SimTime, bytes: u64, stage: &str) -> SimTime {
+    fn nm_stream(&mut self, index: usize, ready: SimTime, bytes: u64, stage: Symbol) -> SimTime {
         let n = self.aim_modules.len().max(1);
         let slot = index % n;
         let (local_bytes, remote_bytes) = if self.cfg.nm_tile_interleave || n == 1 {
@@ -660,7 +708,7 @@ impl Machine {
             let bus = self.aimbus.transfer(start, remote_bytes);
             end = end.max(bus.complete);
         }
-        let acct = self.stages.entry(stage.to_string()).or_default();
+        let acct = self.stages.entry(stage).or_default();
         acct.dram_bytes += bytes;
         acct.dram_activations += bytes / self.cfg.nm_dimm.row_bytes;
         acct.interconnect_bytes += remote_bytes;
@@ -681,25 +729,35 @@ impl Machine {
     ) {
         let now = self.queue.now();
         // Attribute the transfer to the stage of the task that consumes it.
-        let stage = self
-            .tasks
-            .get(&dest)
-            .map(|m| m.stage.clone())
-            .unwrap_or_else(|| "transfer".to_string());
-        let done = self.price_dma(now, bytes, from, to, &stage);
+        let stage = self.tasks.get(&dest).map_or(self.sym_transfer, |m| m.stage);
+        let done = self.price_dma(now, bytes, from, to, stage);
         self.metrics.dma(from, to, bytes);
-        if let Some(trace) = &mut self.trace {
-            trace.record(TraceEvent {
-                name: format!("{stage} ({from}->{to}, {bytes} B)"),
-                kind: TraceKind::Dma,
-                track: "transfers".to_string(),
-                lane: 0,
-                start: now,
-                duration: done.since(now),
-            });
+        if self.trace.is_some() {
+            self.record_dma_trace(stage, bytes, from, to, now, done);
         }
         self.dmas.insert(id, DmaMeta { stage });
         self.queue.push(done, Event::DmaDone { id });
+    }
+
+    #[cold]
+    fn record_dma_trace(
+        &mut self,
+        stage: Symbol,
+        bytes: u64,
+        from: ComputeLevel,
+        to: ComputeLevel,
+        now: SimTime,
+        done: SimTime,
+    ) {
+        let ev = TraceEvent {
+            name: format!("{stage} ({from}->{to}, {bytes} B)"),
+            kind: TraceKind::Dma,
+            track: "transfers".to_string(),
+            lane: 0,
+            start: now,
+            duration: done.since(now),
+        };
+        self.trace.as_mut().expect("trace enabled").record(ev);
     }
 
     fn price_dma(
@@ -708,7 +766,7 @@ impl Machine {
         bytes: u64,
         from: ComputeLevel,
         to: ComputeLevel,
-        stage: &str,
+        stage: Symbol,
     ) -> SimTime {
         use ComputeLevel::{NearMemory, NearStorage, OnChip};
         #[allow(unused_assignments)]
@@ -779,7 +837,7 @@ impl Machine {
             }
         }
 
-        let acct = self.stages.entry(stage.to_string()).or_default();
+        let acct = self.stages.entry(stage).or_default();
         acct.dram_bytes += dram;
         acct.interconnect_bytes += interconnect;
         acct.pcie_bytes += pcie;
@@ -881,6 +939,11 @@ impl Machine {
         snap.set_counter("gam.polls_missed", g.polls_missed);
         snap.set_counter("gam.dmas", g.dmas);
         snap.set_counter("gam.dma_bytes", g.dma_bytes);
+
+        // Event-loop throughput counters (fed to the experiments stderr
+        // summary; never printed on stdout).
+        snap.set_counter("engine.events_processed", self.events_processed);
+        snap.set_counter("engine.queue_depth_peak", self.queue_depth_peak as u64);
         snap
     }
 
@@ -942,8 +1005,17 @@ impl Machine {
             acc_idle_j += acc.active_power_w() * p.accel_idle_fraction * idle.as_secs_f64();
         }
 
+        // Resolve symbols once and sort by name so the report is identical
+        // to the old string-keyed BTreeMap iteration order.
+        let mut stage_rows: Vec<(&'static str, &StageAcct)> = self
+            .stages
+            .iter()
+            .map(|(sym, acct)| (sym.resolve(), acct))
+            .collect();
+        stage_rows.sort_unstable_by_key(|&(name, _)| name);
+
         let mut summaries = Vec::new();
-        for (name, acct) in &self.stages {
+        for &(name, acct) in &stage_rows {
             // Dynamic terms.
             ledger.add(SystemComponent::Accelerator, name, acct.acc_active_j);
             ledger.add(
@@ -1003,7 +1075,7 @@ impl Machine {
             }
 
             summaries.push(StageSummary {
-                name: name.clone(),
+                name: name.to_string(),
                 busy: acct.acc_busy,
                 window: acct.window.unwrap_or((SimTime::ZERO, SimTime::ZERO)),
                 tasks: acct.tasks,

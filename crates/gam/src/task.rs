@@ -1,7 +1,7 @@
 //! Jobs, tasks and buffers — the units the GAM schedules.
 
 use reach_accel::ComputeLevel;
-use reach_sim::SimDuration;
+use reach_sim::{SimDuration, Symbol};
 use std::fmt;
 
 /// Identifies a job (one host-side `execute` group).
@@ -66,10 +66,11 @@ pub struct Task {
     pub id: TaskId,
     /// The job this task belongs to (its *task group* in paper terms).
     pub job: JobId,
-    /// Stage label for reports (e.g. `"short-list"`).
-    pub stage: String,
-    /// Accelerator template this task needs, e.g. `"GEMM-ZCU9"`.
-    pub template: String,
+    /// Stage label for reports (e.g. `"short-list"`), interned so the
+    /// per-event accounting path never clones or hashes strings.
+    pub stage: Symbol,
+    /// Accelerator template this task needs, e.g. `"GEMM-ZCU9"`, interned.
+    pub template: Symbol,
     /// Level the task is mapped to.
     pub level: ComputeLevel,
     /// Estimated execution time, from the kernel synthesis report — what
@@ -166,8 +167,8 @@ impl JobBuilder {
         self.tasks.push(Task {
             id,
             job: self.job,
-            stage: stage.to_string(),
-            template: template.to_string(),
+            stage: Symbol::intern(stage),
+            template: Symbol::intern(template),
             level,
             est_duration,
             inputs,

@@ -67,6 +67,29 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events, so a
+    /// simulation sized from its blueprint never reallocates the heap while
+    /// running.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The timestamp of the most recently popped event (the simulation's
     /// current time).
     #[must_use]
@@ -92,12 +115,43 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { at, seq, payload });
     }
 
+    /// Schedules `payload` at `delta` after the current simulation time.
+    /// Shorthand for `push(self.now() + delta, payload)`.
+    pub fn push_in(&mut self, delta: crate::time::SimDuration, payload: E) {
+        self.push(self.now + delta, payload);
+    }
+
     /// Removes and returns the earliest event, advancing the current time to
     /// its timestamp. Returns `None` when the queue is drained.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.at;
         Some((entry.at, entry.payload))
+    }
+
+    /// Drains **every event scheduled for the earliest pending instant** into
+    /// `out` (cleared first), preserving FIFO order, and returns that
+    /// instant. Returns `None` when the queue is empty.
+    ///
+    /// This lets a scheduling round reuse one scratch `Vec` instead of
+    /// interleaving `peek`/`pop` calls. It is order-exact with repeated
+    /// [`pop`](Self::pop): events pushed *while the batch is processed* carry
+    /// larger sequence numbers than anything already queued, so they can
+    /// never have belonged to the batch being drained.
+    pub fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        out.clear();
+        let first = self.heap.pop()?;
+        let at = first.at;
+        self.now = at;
+        out.push(first.payload);
+        while let Some(e) = self.heap.peek() {
+            if e.at != at {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked entry vanished");
+            out.push(e.payload);
+        }
+        Some(at)
     }
 
     /// Timestamp of the earliest pending event without removing it.
@@ -195,6 +249,66 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn push_in_schedules_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), "a");
+        q.pop();
+        q.push_in(crate::time::SimDuration::from_ps(5), "b");
+        let (t, ev) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_ps(15));
+        assert_eq!(ev, "b");
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let mut q = EventQueue::<u32>::new();
+        q.reserve(32);
+        assert!(q.capacity() >= 32);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_instant_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ps(10), 1);
+        q.push(SimTime::from_ps(10), 2);
+        q.push(SimTime::from_ps(20), 4);
+        q.push(SimTime::from_ps(10), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch_into(&mut batch), Some(SimTime::from_ps(10)));
+        assert_eq!(batch, [1, 2, 3]);
+        assert_eq!(q.now(), SimTime::from_ps(10));
+        assert_eq!(q.pop_batch_into(&mut batch), Some(SimTime::from_ps(20)));
+        assert_eq!(batch, [4]);
+        assert_eq!(q.pop_batch_into(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_matches_repeated_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let times = [7u64, 3, 7, 9, 3, 3, 9, 1];
+        for (i, t) in times.iter().enumerate() {
+            a.push(SimTime::from_ps(*t), i);
+            b.push(SimTime::from_ps(*t), i);
+        }
+        let mut via_pop = Vec::new();
+        while let Some((t, e)) = a.pop() {
+            via_pop.push((t, e));
+        }
+        let mut via_batch = Vec::new();
+        let mut scratch = Vec::new();
+        while let Some(t) = b.pop_batch_into(&mut scratch) {
+            for e in scratch.drain(..) {
+                via_batch.push((t, e));
+            }
+        }
+        assert_eq!(via_pop, via_batch);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod intern;
 pub mod metrics;
 pub mod rate;
 pub mod resource;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use intern::Symbol;
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot, OccupancyId,
     WindowedGauge,

@@ -171,12 +171,20 @@ impl Ssd {
             .transfer_time(self.config.page_bytes);
 
         // Stripe pages round-robin over the channels; each page occupies its
-        // channel for one page transfer time.
+        // channel for one page transfer time. All of a channel's pages are
+        // requested at the same `now`, so its whole share collapses into one
+        // batched reservation: channel `(first_page + i) % C` serves page
+        // `i`, `i + C`, `i + 2C`, ... — `pages / C` each, plus one more for
+        // the first `pages % C` channels in stripe order.
+        let channels = self.config.channels as u64;
+        let base = pages / channels;
+        let rem = pages % channels;
         let mut complete = now;
         let mut start = SimTime::MAX;
-        for p in 0..pages {
-            let ch = ((first_page + p) % self.config.channels as u64) as usize;
-            let r = self.flash.reserve_on(ch, now, page_time);
+        for i in 0..channels.min(pages) {
+            let ch = ((first_page + i) % channels) as usize;
+            let share = base + u64::from(i < rem);
+            let r = self.flash.reserve_many_on(ch, now, page_time, share);
             start = start.min(r.start);
             complete = complete.max(r.ready);
         }

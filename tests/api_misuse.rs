@@ -44,15 +44,14 @@ fn unknown_template_rejected_at_build() {
 }
 
 #[test]
-#[should_panic(expected = "unknown template")]
-fn unchecked_pipeline_still_panics_at_run() {
-    // The deprecated shim keeps the old mid-run failure mode.
+fn build_is_the_only_path_to_a_pipeline() {
+    // With the unchecked shim gone, an invalid template can never reach a
+    // running machine: the only constructor takes a ValidatedConfig, and
+    // build() refuses to produce one.
     let mut cfg = ReachConfig::new();
-    let acc = cfg.register_acc("NOT-A-REAL-KERNEL", Level::OnChip);
-    #[allow(deprecated)]
-    let mut p = Pipeline::new_unchecked(cfg);
-    p.call(acc, TaskWork::compute(1), "x");
-    p.run(&mut machine(), 1);
+    cfg.register_acc("NOT-A-REAL-KERNEL", Level::OnChip);
+    let err = cfg.build().expect_err("invalid template must not build");
+    assert!(err.to_string().contains("unknown template"));
 }
 
 #[test]

@@ -85,3 +85,104 @@ fn rendered_figures_match_across_job_counts() {
         );
     }
 }
+
+/// Every renderer's output, concatenated in registration order — the exact
+/// stdout the `experiments` binary produces for a full run.
+fn full_suite_stdout(executor: &dyn ScenarioExecutor) -> String {
+    let mut out = String::new();
+    for (i, (_, render)) in reach_bench::renderers().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render(executor));
+    }
+    out
+}
+
+#[test]
+fn full_suite_stdout_is_byte_identical_at_jobs_1_4_8() {
+    // The whole experiments suite — all 21 experiments, 126 scenarios —
+    // diffed across --jobs levels. Any scheduling leak anywhere in the
+    // engine, the runner or the kernels shows up here.
+    let reference = full_suite_stdout(&SequentialExecutor);
+    assert!(!reference.is_empty());
+    for jobs in [4, 8] {
+        let parallel = full_suite_stdout(&ScenarioRunner::new(jobs));
+        assert_eq!(reference, parallel, "full suite diverged at {jobs} jobs");
+    }
+}
+
+mod kernel_chunking {
+    //! Parallel kernels must be *bit-for-bit* equal to their sequential
+    //! form at any worker count — the engine-level determinism contract
+    //! rests on it.
+
+    use proptest::prelude::*;
+    use reach_cbir::kmeans::kmeans_jobs;
+    use reach_cbir::linalg::{gemm_nt_jobs, Matrix};
+    use reach_sim::rng::seeded;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// GEMM row-chunking: sequential vs many workers, exact equality
+        /// on shapes that straddle chunk boundaries.
+        #[test]
+        fn gemm_parallel_matches_sequential_bitwise(
+            m in 1usize..200,
+            n in 1usize..40,
+            k in 1usize..24,
+            jobs in 2usize..9,
+            seedling in 0u64..1000,
+        ) {
+            let fill = |len: usize, salt: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(salt * 7919);
+                        ((x % 2003) as f32 - 1001.0) / 97.0
+                    })
+                    .collect()
+            };
+            let a = Matrix::from_vec(m, k, fill(m * k, seedling));
+            let b = Matrix::from_vec(n, k, fill(n * k, seedling + 1));
+            let seq = gemm_nt_jobs(&a, &b, 1);
+            let par = gemm_nt_jobs(&a, &b, jobs);
+            prop_assert_eq!(
+                seq.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+
+        /// K-means assignment chunking: the full clustering (assignments,
+        /// centroids, inertia) is identical at any worker count.
+        #[test]
+        fn kmeans_parallel_matches_sequential_bitwise(
+            n in 8usize..300,
+            d in 1usize..8,
+            k_frac in 1usize..8,
+            jobs in 2usize..9,
+            seedling in 0u64..1000,
+        ) {
+            let k = (n / k_frac).max(1);
+            let pts = Matrix::from_vec(
+                n,
+                d,
+                (0..n * d)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seedling);
+                        ((x % 4001) as f32 - 2000.0) / 131.0
+                    })
+                    .collect(),
+            );
+            let seq = kmeans_jobs(&pts, k, 10, &mut seeded(seedling), 1);
+            let par = kmeans_jobs(&pts, k, 10, &mut seeded(seedling), jobs);
+            prop_assert_eq!(&seq.assignments, &par.assignments);
+            prop_assert_eq!(
+                seq.centroids.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.centroids.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(seq.inertia.to_bits(), par.inertia.to_bits());
+            prop_assert_eq!(seq.iterations, par.iterations);
+        }
+    }
+}
