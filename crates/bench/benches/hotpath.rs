@@ -1,7 +1,7 @@
-//! Microbenchmarks of the simulator hot paths touched by the
-//! de-allocation pass: event-queue throughput, machine steady-state
-//! event processing, and the parallel CBIR kernels (GEMM, k-means,
-//! top-K).
+//! Microbenchmarks of the simulator hot paths: event-queue throughput
+//! (calendar queue), machine steady-state event processing, the parallel
+//! CBIR kernels (GEMM micro-kernel, k-means, top-K), the cross-batch
+//! distance cache, and the batched DDR stream timing model.
 //!
 //! Set `REACH_BENCH_QUICK=1` to shrink every problem size (the CI
 //! perf-smoke mode); the full sizes are meant for local before/after
@@ -130,6 +130,65 @@ fn bench_kmeans(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cache(c: &mut Criterion) {
+    use reach_cbir::linalg::batch_dist_sq;
+    use reach_cbir::QueryContext;
+
+    let mut g = c.benchmark_group("hotpath/cache");
+    let nq = scaled(64, 16);
+    let np = scaled(4096, 512);
+    let d = 32;
+    let queries = Matrix::from_vec(
+        nq,
+        d,
+        (0..nq * d).map(|i| ((i * 31) % 23) as f32 - 11.0).collect(),
+    );
+    let points = Matrix::from_vec(
+        np,
+        d,
+        (0..np * d).map(|i| ((i * 7) % 19) as f32 - 9.0).collect(),
+    );
+    g.throughput(Throughput::Elements((nq * np) as u64));
+    // Every batch recomputes the points-side norms from scratch.
+    g.bench_function("batch_dist_uncached", |b| {
+        b.iter(|| black_box(batch_dist_sq(&queries, &points)));
+    });
+    // The QueryContext keeps `||p||^2` warm across batches; only the first
+    // iteration misses.
+    let ctx = QueryContext::new();
+    g.bench_function("batch_dist_cached", |b| {
+        b.iter(|| black_box(ctx.batch_dist_sq(&queries, &points)));
+    });
+    g.finish();
+}
+
+fn bench_ddr_stream(c: &mut Criterion) {
+    use reach_mem::{AccessKind, Dimm, DimmConfig, RowPolicy};
+
+    let mut g = c.benchmark_group("hotpath/ddr");
+    let bytes = (scaled(256, 16) as u64) << 20;
+    // Simulated-stream throughput: how fast the timing model itself chews
+    // through a multi-hundred-MiB sequential scan (the refresh-period row
+    // batching collapses ~18 row reservations into one).
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("stream_row_batched", |b| {
+        b.iter(|| {
+            let mut d = Dimm::new(DimmConfig::ddr4_16gb());
+            black_box(
+                d.stream(
+                    SimTime::ZERO,
+                    0,
+                    bytes,
+                    AccessKind::Read,
+                    RowPolicy::OpenPage,
+                )
+                .complete,
+            )
+        });
+    });
+    g.finish();
+}
+
 fn bench_topk(c: &mut Criterion) {
     let mut g = c.benchmark_group("hotpath/topk");
     let n = scaled(262_144, 16_384);
@@ -149,6 +208,8 @@ criterion_group!(
     bench_machine,
     bench_gemm,
     bench_kmeans,
+    bench_cache,
+    bench_ddr_stream,
     bench_topk
 );
 criterion_main!(hotpath);

@@ -149,9 +149,16 @@ fn main() -> ExitCode {
         jobs,
         started.elapsed().as_secs_f64()
     );
+    // Cross-batch distance cache effectiveness — stderr + metrics export
+    // only, so stdout stays byte-comparable.
+    let (cache_hits, cache_misses) = reach_cbir::cache::cache_stats();
+    eprintln!("cbir distance cache: {cache_hits} hit(s), {cache_misses} miss(es)");
 
     if let Some(path) = metrics_path {
-        let doc = reach_bench::scenario_metrics_json(&captured);
+        let mut process = MetricsSnapshot::new(0);
+        process.set_counter("cbir.cache_hits", cache_hits);
+        process.set_counter("cbir.cache_misses", cache_misses);
+        let doc = reach_bench::run_metrics_json(&captured, Some(&process));
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;

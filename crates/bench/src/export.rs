@@ -47,6 +47,19 @@ fn indent(doc: &str, pad: usize) -> String {
 /// entries in capture order.
 #[must_use]
 pub fn scenario_metrics_json(scenarios: &[CapturedScenario]) -> String {
+    run_metrics_json(scenarios, None)
+}
+
+/// [`scenario_metrics_json`] with an optional run-level snapshot of
+/// process-wide counters (e.g. `cbir.cache_hits` / `cbir.cache_misses`
+/// from the cross-batch distance cache) appended as a top-level
+/// `"process"` object. Existing consumers of the scenario array are
+/// unaffected — the extra key is additive.
+#[must_use]
+pub fn run_metrics_json(
+    scenarios: &[CapturedScenario],
+    process: Option<&reach::MetricsSnapshot>,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"reach-run-metrics-v1\",\n  \"scenarios\": [");
     for (i, s) in scenarios.iter().enumerate() {
         if i > 0 {
@@ -65,7 +78,11 @@ pub fn scenario_metrics_json(scenarios: &[CapturedScenario]) -> String {
             indent(&s.metrics.to_json(), 6)
         );
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
+    if let Some(snapshot) = process {
+        let _ = write!(out, ",\n  \"process\": {}", indent(&snapshot.to_json(), 2));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -194,6 +211,19 @@ mod tests {
             label_file_stem("sweep/ReACH/nm2-ns4"),
             "sweep-ReACH-nm2-ns4"
         );
+    }
+
+    #[test]
+    fn process_snapshot_is_appended() {
+        let mut process = MetricsSnapshot::new(0);
+        process.set_counter("cbir.cache_hits", 41);
+        process.set_counter("cbir.cache_misses", 5);
+        let doc = run_metrics_json(&[captured("x")], Some(&process));
+        assert!(doc.contains("\"process\": {"));
+        assert!(doc.contains("\"cbir.cache_hits\": {\"kind\":\"counter\",\"value\":41}"));
+        // Scenario entries are unchanged relative to the plain export.
+        assert!(doc.contains("\"label\": \"x\""));
+        assert!(!scenario_metrics_json(&[captured("x")]).contains("process"));
     }
 
     #[test]

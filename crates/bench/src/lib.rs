@@ -17,7 +17,9 @@ pub mod export;
 pub mod runner;
 pub mod sweep;
 
-pub use export::{bench_report_json, label_file_stem, scenario_metrics_json, BenchEntry};
+pub use export::{
+    bench_report_json, label_file_stem, run_metrics_json, scenario_metrics_json, BenchEntry,
+};
 pub use runner::{CapturedScenario, RecordingExecutor, ScenarioRunner};
 
 use reach::{ScenarioExecutor, SystemComponent};

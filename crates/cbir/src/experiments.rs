@@ -454,11 +454,14 @@ pub fn recall_vs_compression() -> Vec<RecallCompressionRow> {
     let truth = ds.ground_truth(&queries, 10);
     let full_bytes = dim as f64 * 4.0;
 
+    // One cross-batch cache for the whole experiment: centroid and
+    // codeword norms are computed once and reused by every query.
+    let ctx = crate::cache::QueryContext::new();
     let mut rows = Vec::new();
 
     // Exact IVF + rerank (what ReACH accelerates), nprobe = 1/6 of cells.
     let index = IvfIndex::build(&ds.points, 48, &mut rng);
-    let exact = index.search(&ds.points, &queries, 8, 10, None);
+    let exact = index.search_cached(&ctx, &ds.points, &queries, 8, 10, None);
     rows.push(RecallCompressionRow {
         method: "IVF + exact rerank (ReACH)".into(),
         bytes_per_vector: full_bytes * 8.0 / 48.0, // fraction of cells scanned
@@ -473,7 +476,7 @@ pub fn recall_vs_compression() -> Vec<RecallCompressionRow> {
         let pq = ProductQuantizer::train(&ds.points, subs, cents, &mut rng);
         let codes = pq.encode_batch(&ds.points);
         let results: Vec<Vec<usize>> = (0..queries.rows())
-            .map(|qi| pq.search(&codes, queries.row(qi), 10))
+            .map(|qi| pq.search_cached(&ctx, &codes, queries.row(qi), 10))
             .collect();
         rows.push(RecallCompressionRow {
             method: label.into(),

@@ -91,11 +91,28 @@ impl IvfIndex {
     /// Panics if `nprobe` is zero or exceeds the cluster count.
     #[must_use]
     pub fn short_lists(&self, queries: &Matrix, nprobe: usize) -> Vec<ShortList> {
+        self.short_lists_dists(queries, nprobe, batch_dist_sq(queries, &self.centroids))
+    }
+
+    /// [`short_lists`](Self::short_lists) with the centroid norms served
+    /// from `ctx` — across query batches and sweep points probing the
+    /// same index, `||c||^2` is computed exactly once. Bit-identical to
+    /// the uncached form.
+    #[must_use]
+    pub fn short_lists_cached(
+        &self,
+        ctx: &crate::cache::QueryContext,
+        queries: &Matrix,
+        nprobe: usize,
+    ) -> Vec<ShortList> {
+        self.short_lists_dists(queries, nprobe, ctx.batch_dist_sq(queries, &self.centroids))
+    }
+
+    fn short_lists_dists(&self, queries: &Matrix, nprobe: usize, dists: Matrix) -> Vec<ShortList> {
         assert!(
             nprobe > 0 && nprobe <= self.clusters(),
             "short_lists: nprobe {nprobe} out of range"
         );
-        let dists = batch_dist_sq(queries, &self.centroids);
         (0..queries.rows())
             .map(|qi| {
                 top_k(
@@ -149,6 +166,33 @@ impl IvfIndex {
         max_candidates: Option<usize>,
     ) -> Vec<Vec<usize>> {
         let lists = self.short_lists(queries, nprobe);
+        self.rerank_lists(points, queries, &lists, k, max_candidates)
+    }
+
+    /// [`search`](Self::search) with short-list retrieval running through
+    /// `ctx`'s cross-batch norm cache. Bit-identical results.
+    #[must_use]
+    pub fn search_cached(
+        &self,
+        ctx: &crate::cache::QueryContext,
+        points: &Matrix,
+        queries: &Matrix,
+        nprobe: usize,
+        k: usize,
+        max_candidates: Option<usize>,
+    ) -> Vec<Vec<usize>> {
+        let lists = self.short_lists_cached(ctx, queries, nprobe);
+        self.rerank_lists(points, queries, &lists, k, max_candidates)
+    }
+
+    fn rerank_lists(
+        &self,
+        points: &Matrix,
+        queries: &Matrix,
+        lists: &[ShortList],
+        k: usize,
+        max_candidates: Option<usize>,
+    ) -> Vec<Vec<usize>> {
         (0..queries.rows())
             .map(|qi| {
                 self.rerank(points, queries.row(qi), &lists[qi], k, max_candidates)
@@ -244,6 +288,19 @@ mod tests {
         let capped = index.rerank(&ds.points, queries.row(0), &lists[0], 10, Some(32));
         assert!(capped.len() <= 10);
         assert!(full > 32, "test needs more candidates than the cap");
+    }
+
+    #[test]
+    fn cached_search_is_identical_across_batches() {
+        let (ds, index, queries, _) = setup();
+        let ctx = crate::cache::QueryContext::new();
+        // Several "batches" probing the same index: results must match the
+        // uncached path exactly, first (cold) batch and later (hot) ones.
+        for batch in 0..3 {
+            let plain = index.search(&ds.points, &queries, 4, 10, None);
+            let cached = index.search_cached(&ctx, &ds.points, &queries, 4, 10, None);
+            assert_eq!(plain, cached, "batch {batch} diverged");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The paper preprocesses the database "with k-means to obtain 1000 cluster
 //! centroids" during the offline stage; this is that stage.
 
-use crate::linalg::{dist_sq, Matrix};
+use crate::linalg::{dist_sq, gemm_nt_rows, norm_sq, Matrix};
 use rand::Rng;
 
 /// Result of a clustering run.
@@ -104,10 +104,13 @@ pub fn kmeans_jobs(
     // --- Lloyd iterations ---
     let mut assignments = vec![0usize; n];
     let mut best_dists = vec![0.0f32; n];
-    // Each point's nearest-centroid search is the same scalar loop on the
-    // sequential and fanned-out paths, and the inertia is reduced
-    // sequentially in point order below, so the clustering is
-    // byte-identical at any worker count.
+    // The assignment runs through the shared GEMM micro-kernel as a
+    // decomposed distance (Equation 1): per fixed 64-row chunk, one
+    // points-x-centroids dot-product panel plus precomputed norms.
+    // Chunk boundaries are fixed (not worker-count dependent), every dot
+    // and norm uses the kernel's single accumulation order, and the
+    // argmin scans centroids in index order with a strict `<`, so the
+    // clustering is byte-identical at any worker count.
     let mut inertia = f64::INFINITY;
     let mut iterations = 0;
     for it in 0..max_iters {
@@ -115,6 +118,8 @@ pub fn kmeans_jobs(
         // Assign.
         {
             let centroids = &centroids;
+            let c_norms: Vec<f32> = (0..k).map(|c| norm_sq(centroids.row(c))).collect();
+            let c_norms = &c_norms;
             let chunks: Vec<(usize, &mut [usize], &mut [f32])> = assignments
                 .chunks_mut(crate::par::CHUNK_ROWS)
                 .zip(best_dists.chunks_mut(crate::par::CHUNK_ROWS))
@@ -122,11 +127,15 @@ pub fn kmeans_jobs(
                 .map(|(ch, (asn, dst))| (ch * crate::par::CHUNK_ROWS, asn, dst))
                 .collect();
             crate::par::run_items(chunks, assign_jobs, |(i0, asn, dst)| {
+                let rows = asn.len();
+                let mut dots = vec![0.0f32; rows * k];
+                gemm_nt_rows(points, centroids, i0, &mut dots);
                 for (off, (a_slot, d_slot)) in asn.iter_mut().zip(dst.iter_mut()).enumerate() {
-                    let row = points.row(i0 + off);
+                    let p_norm = norm_sq(points.row(i0 + off));
+                    let dot_row = &dots[off * k..(off + 1) * k];
                     let (mut best, mut best_d) = (0usize, f32::INFINITY);
                     for c in 0..k {
-                        let dd = dist_sq(row, centroids.row(c));
+                        let dd = p_norm + c_norms[c] - 2.0 * dot_row[c];
                         if dd < best_d {
                             best = c;
                             best_d = dd;

@@ -25,6 +25,7 @@
 
 pub mod ablations;
 pub mod binary;
+pub mod cache;
 pub mod dataset;
 pub mod experiments;
 pub mod features;
@@ -40,6 +41,7 @@ pub mod topk;
 pub mod workload;
 
 pub use binary::BinaryCoder;
+pub use cache::QueryContext;
 pub use dataset::{Dataset, RecallReport};
 pub use features::FeatureNet;
 pub use ivf::IvfIndex;

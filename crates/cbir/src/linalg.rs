@@ -10,7 +10,9 @@
 //! which turns short-list retrieval into one matrix-matrix product plus a
 //! broadcast addition — the shape the GeMM accelerator template runs.
 
-/// A row-major `f32` matrix.
+/// A row-major `f32` matrix. Zero-dimension matrices are legal (an empty
+/// query batch or candidate list is a normal runtime input, not a bug) —
+/// they simply have no rows to borrow.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
@@ -19,14 +21,9 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Creates a zero matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a zero dimension.
+    /// Creates a zero matrix. Zero dimensions produce an empty matrix.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "Matrix: zero dimension");
         Matrix {
             rows,
             cols,
@@ -126,6 +123,9 @@ pub fn gemm_nt_jobs(a: &Matrix, b: &Matrix, jobs: usize) -> Matrix {
     );
     let mut c = Matrix::zeros(a.rows, b.rows);
     let n = b.rows;
+    if a.rows == 0 || n == 0 {
+        return c;
+    }
     let chunks: Vec<(usize, &mut [f32])> = c
         .data
         .chunks_mut(crate::par::CHUNK_ROWS * n)
@@ -138,34 +138,125 @@ pub fn gemm_nt_jobs(a: &Matrix, b: &Matrix, jobs: usize) -> Matrix {
     c
 }
 
+/// SIMD-ish lane count of the register-blocked kernels. Eight `f32`
+/// lanes map onto one AVX2 register (or two NEON registers); the point is
+/// not the exact width but that every accumulator lane is independent, so
+/// the compiler can keep them in vector registers.
+const LANES: usize = 8;
+
+/// Columns of `B^T` processed per inner-kernel invocation.
+const COLS: usize = 4;
+
+/// Folds an 8-lane accumulator with a fixed reduction tree. Every kernel
+/// in this module reduces through this one function, so any two paths
+/// that accumulate the same lanes agree bit-for-bit.
+#[inline]
+fn reduce(acc: [f32; LANES]) -> f32 {
+    let q = [
+        acc[0] + acc[4],
+        acc[1] + acc[5],
+        acc[2] + acc[6],
+        acc[3] + acc[7],
+    ];
+    (q[0] + q[2]) + (q[1] + q[3])
+}
+
+/// Eight-lane register-blocked dot product: lane `l` accumulates the
+/// products at indices `t ≡ l (mod 8)` in increasing `t` order, then the
+/// lanes fold through [`reduce`]. The tail (`len % 8`) lands in lanes
+/// `0..len%8`; since a lane holding `+0.0` can never turn into `-0.0` by
+/// adding products, this is bitwise identical to zero-padding the inputs
+/// to a multiple of eight.
+///
+/// This is *the* accumulation order of the crate: the GEMM micro-kernel,
+/// [`norm_sq`] and the k-means assignment all route through it, which is
+/// what makes decomposed distances of a vector to itself exactly zero.
+#[inline]
+pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let main = a.len() / LANES * LANES;
+    let (ah, at) = a.split_at(main);
+    let (bh, bt) = b.split_at(main);
+    for (av, bv) in ah.chunks_exact(LANES).zip(bh.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += av[l] * bv[l];
+        }
+    }
+    for (l, (x, y)) in at.iter().zip(bt).enumerate() {
+        acc[l] += x * y;
+    }
+    reduce(acc)
+}
+
 /// Computes rows `row0 ..` of `C = A x B^T` into `out` (a contiguous
-/// row-major slice of whole rows). One scalar accumulation order per output
-/// element, independent of how rows are grouped into chunks.
-fn gemm_nt_rows(a: &Matrix, b: &Matrix, row0: usize, out: &mut [f32]) {
-    const BLOCK: usize = 32;
+/// row-major slice of whole rows).
+///
+/// The inner kernel is register-blocked 4 columns x 8 lanes: four rows of
+/// `B` are packed into one contiguous panel (reused across the whole
+/// i-loop, so it stays cache-hot), and each `A` row accumulates into four
+/// independent 8-lane accumulators. Per output element the accumulation
+/// order is exactly [`dot8`]'s — lane `l` sums `t ≡ l (mod 8)` in order,
+/// then the fixed [`reduce`] tree — so the 4-wide kernel, the remainder
+/// columns (plain `dot8`) and any row-chunking all produce bit-identical
+/// results.
+pub(crate) fn gemm_nt_rows(a: &Matrix, b: &Matrix, row0: usize, out: &mut [f32]) {
     let n = b.rows;
+    let k = a.cols;
     let rows = out.len() / n;
-    for i0 in (0..rows).step_by(BLOCK) {
-        for j0 in (0..n).step_by(BLOCK) {
-            for i in i0..(i0 + BLOCK).min(rows) {
+    let main = k / LANES * LANES;
+    // Packed B panel: COLS rows of B, contiguous. One allocation per
+    // chunk, reused across every (i, j0) iteration.
+    let mut panel = vec![0.0f32; COLS * k];
+    for j0 in (0..n).step_by(COLS) {
+        if n - j0 >= COLS {
+            for c in 0..COLS {
+                panel[c * k..(c + 1) * k].copy_from_slice(b.row(j0 + c));
+            }
+            let (b0, rest) = panel.split_at(k);
+            let (b1, rest) = rest.split_at(k);
+            let (b2, b3) = rest.split_at(k);
+            for i in 0..rows {
                 let ar = a.row(row0 + i);
-                for j in j0..(j0 + BLOCK).min(n) {
-                    let br = b.row(j);
-                    let mut acc = 0.0f32;
-                    for t in 0..a.cols {
-                        acc += ar[t] * br[t];
+                let mut acc = [[0.0f32; LANES]; COLS];
+                for t0 in (0..main).step_by(LANES) {
+                    for l in 0..LANES {
+                        let x = ar[t0 + l];
+                        acc[0][l] += x * b0[t0 + l];
+                        acc[1][l] += x * b1[t0 + l];
+                        acc[2][l] += x * b2[t0 + l];
+                        acc[3][l] += x * b3[t0 + l];
                     }
-                    out[i * n + j] = acc;
+                }
+                for (l, t) in (main..k).enumerate() {
+                    let x = ar[t];
+                    acc[0][l] += x * b0[t];
+                    acc[1][l] += x * b1[t];
+                    acc[2][l] += x * b2[t];
+                    acc[3][l] += x * b3[t];
+                }
+                for (c, lanes) in acc.into_iter().enumerate() {
+                    out[i * n + j0 + c] = reduce(lanes);
+                }
+            }
+        } else {
+            // Remainder columns: same order via the scalar-kernel dot.
+            for j in j0..n {
+                let br = b.row(j);
+                for i in 0..rows {
+                    out[i * n + j] = dot8(a.row(row0 + i), br);
                 }
             }
         }
     }
 }
 
-/// Squared L2 norm of a vector.
+/// Squared L2 norm of a vector, accumulated in [`dot8`] order so that
+/// `norm_sq(v)` is bitwise the kernel's `<v, v>` — the identity
+/// `||p||^2 + ||p||^2 - 2<p, p> = 0` then holds *exactly* in `f32`.
 #[must_use]
 pub fn norm_sq(v: &[f32]) -> f32 {
-    v.iter().map(|x| x * x).sum()
+    dot8(v, v)
 }
 
 /// Direct squared Euclidean distance (Equation 2 of the paper).
@@ -230,16 +321,64 @@ mod tests {
 
     #[test]
     fn gemm_blocks_match_naive_on_odd_sizes() {
-        // 37 x 19 x 41: sizes that do not divide the block size.
+        // 37 x 19 x 41: sizes that divide neither the 4-column block nor
+        // the 8-lane accumulator. Every element is checked — a broken
+        // interior block or mis-handled remainder column cannot hide.
         let a = Matrix::from_vec(37, 19, (0..37 * 19).map(|i| (i % 7) as f32 - 3.0).collect());
         let b = Matrix::from_vec(41, 19, (0..41 * 19).map(|i| (i % 5) as f32 - 2.0).collect());
         let c = gemm_nt(&a, &b);
-        for i in [0, 17, 36] {
-            for j in [0, 23, 40] {
+        for i in 0..37 {
+            for j in 0..41 {
                 let naive: f32 = (0..19).map(|t| a.row(i)[t] * b.row(j)[t]).sum();
-                assert!((c.row(i)[j] - naive).abs() < 1e-3);
+                assert!(
+                    (c.row(i)[j] - naive).abs() < 1e-3,
+                    "mismatch at ({i}, {j}): {} vs naive {naive}",
+                    c.row(i)[j]
+                );
             }
         }
+    }
+
+    #[test]
+    fn gemm_remainder_columns_match_wide_kernel_bitwise() {
+        // The same B rows reached through the 4-wide kernel (as columns
+        // 0..4 of a 5-column B) and through the remainder path (as the
+        // only column) must produce identical bits.
+        let k = 19;
+        let a = Matrix::from_vec(3, k, (0..3 * k).map(|i| (i as f32).sin()).collect());
+        let b5 = Matrix::from_vec(5, k, (0..5 * k).map(|i| (i as f32).cos()).collect());
+        let wide = gemm_nt(&a, &b5);
+        for j in 0..5 {
+            let b1 = Matrix::from_vec(1, k, b5.row(j).to_vec());
+            let narrow = gemm_nt(&a, &b1);
+            for i in 0..3 {
+                assert_eq!(wide.row(i)[j].to_bits(), narrow.row(i)[0].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_results() {
+        // A rerank over an empty candidate list is a normal runtime input.
+        let q = Matrix::from_vec(3, 4, vec![1.0; 12]);
+        let none = Matrix::zeros(0, 4);
+        let d = batch_dist_sq(&q, &none);
+        assert_eq!((d.rows(), d.cols()), (3, 0));
+        let d = batch_dist_sq(&none, &q);
+        assert_eq!((d.rows(), d.cols()), (0, 3));
+        assert!(d.as_slice().is_empty());
+        let c = gemm_nt(&none, &none);
+        assert_eq!((c.rows(), c.cols()), (0, 0));
+        assert_eq!(norm_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn self_distance_is_exactly_zero_in_decomposed_form() {
+        // norm_sq and the GEMM kernel share one accumulation order, so
+        // ||p||^2 + ||p||^2 - 2<p,p> cancels exactly — no epsilon.
+        let p = Matrix::from_vec(1, 19, (0..19).map(|i| (i as f32).sin() * 3.7).collect());
+        let d = batch_dist_sq(&p, &p);
+        assert_eq!(d.row(0)[0], 0.0);
     }
 
     #[test]

@@ -205,7 +205,10 @@ impl CbirPipeline {
                 crate::features::VGG16_COMPRESSED_PARAM_BYTES,
             )
         });
-        // The centroid + cell-info store is sedentary at the SL level.
+        // The centroid + cell-info store is sedentary at the SL level. Its
+        // functional counterpart is [`crate::cache::QueryContext`]: the
+        // `||c||^2` column the paper keeps "alongside the centroids" is
+        // exactly what the cross-batch cache precomputes once per dataset.
         let centroid_store = has(CbirStage::ShortList)
             .then(|| cfg.create_fixed_buffer("centroid_store", sl_level, w.centroid_store_bytes));
         // The feature database always lives on the SSDs; rerank either runs

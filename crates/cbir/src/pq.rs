@@ -149,6 +149,33 @@ impl ProductQuantizer {
             .collect()
     }
 
+    /// [`distance_table`](Self::distance_table) with the codeword norms
+    /// served from `ctx`'s cross-batch cache: each entry is the
+    /// decomposed `||q_s||^2 + ||c||^2 - 2<q_s, c>` with `||c||^2`
+    /// computed once per codebook — across every query of every batch —
+    /// instead of once per query. The decomposed form rounds differently
+    /// from the direct subtraction (within normal `f32` tolerance); it is
+    /// deterministic and identical for every query that reuses the cache.
+    #[must_use]
+    pub fn distance_table_cached(
+        &self,
+        ctx: &crate::cache::QueryContext,
+        query: &[f32],
+    ) -> Vec<Vec<f32>> {
+        self.codebooks
+            .iter()
+            .enumerate()
+            .map(|(s, book)| {
+                let sub = &query[s * self.sub_dim..(s + 1) * self.sub_dim];
+                let q_norm = crate::linalg::norm_sq(sub);
+                let c_norms = ctx.row_norms(book);
+                (0..book.rows())
+                    .map(|c| q_norm + c_norms[c] - 2.0 * crate::linalg::dot8(sub, book.row(c)))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Asymmetric distance of a code against a precomputed table.
     #[must_use]
     pub fn adc_distance(table: &[Vec<f32>], code: &[u8]) -> f32 {
@@ -162,12 +189,29 @@ impl ProductQuantizer {
     /// Exhaustive ADC search: the K nearest codes to `query`.
     #[must_use]
     pub fn search(&self, codes: &[Vec<u8>], query: &[f32], k: usize) -> Vec<usize> {
-        let table = self.distance_table(query);
+        Self::adc_top_k(&self.distance_table(query), codes, k)
+    }
+
+    /// [`search`](Self::search) with the distance table built through
+    /// `ctx`'s codeword-norm cache (see
+    /// [`distance_table_cached`](Self::distance_table_cached)).
+    #[must_use]
+    pub fn search_cached(
+        &self,
+        ctx: &crate::cache::QueryContext,
+        codes: &[Vec<u8>],
+        query: &[f32],
+        k: usize,
+    ) -> Vec<usize> {
+        Self::adc_top_k(&self.distance_table_cached(ctx, query), codes, k)
+    }
+
+    fn adc_top_k(table: &[Vec<f32>], codes: &[Vec<u8>], k: usize) -> Vec<usize> {
         top_k(
             codes
                 .iter()
                 .enumerate()
-                .map(|(i, code)| (Self::adc_distance(&table, code), i)),
+                .map(|(i, code)| (Self::adc_distance(table, code), i)),
             k,
         )
         .into_iter()
@@ -266,6 +310,35 @@ mod tests {
             fine > coarse,
             "recall should grow with codebook size: {coarse} -> {fine}"
         );
+    }
+
+    #[test]
+    fn cached_adc_search_matches_uncached_ranking() {
+        let (ds, queries, _) = setup();
+        let mut rng = seeded(46);
+        let pq = ProductQuantizer::train(&ds.points, 4, 32, &mut rng);
+        let codes = pq.encode_batch(&ds.points);
+        let ctx = crate::cache::QueryContext::new();
+        for qi in 0..queries.rows() {
+            let plain = pq.search(&codes, queries.row(qi), 10);
+            let cached = pq.search_cached(&ctx, &codes, queries.row(qi), 10);
+            // The decomposed table rounds differently from the direct
+            // subtraction, so allow rank swaps only between candidates whose
+            // direct-form ADC distances are within f32 noise of each other.
+            let table = pq.distance_table(queries.row(qi));
+            for (a, b) in plain.iter().zip(&cached) {
+                if a != b {
+                    let da = ProductQuantizer::adc_distance(&table, &codes[*a]);
+                    let db = ProductQuantizer::adc_distance(&table, &codes[*b]);
+                    assert!(
+                        (da - db).abs() <= 1e-3 * da.abs().max(1.0),
+                        "query {qi}: {a} (d={da}) vs {b} (d={db})"
+                    );
+                }
+            }
+        }
+        // And the cache actually gets used: one entry per codebook.
+        assert_eq!(ctx.cached_matrices(), pq.subspaces());
     }
 
     #[test]

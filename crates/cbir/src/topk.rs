@@ -104,6 +104,14 @@ mod tests {
     }
 
     #[test]
+    fn empty_stream_yields_empty_result() {
+        // An empty candidate list (e.g. a rerank over zero survivors)
+        // must come back empty, not panic.
+        assert!(top_k(std::iter::empty(), 5).is_empty());
+        assert!(top_k(std::iter::empty(), 0).is_empty());
+    }
+
+    #[test]
     fn ties_break_by_index() {
         let d = [(1.0, 2), (1.0, 0), (1.0, 1)];
         assert_eq!(top_k(d, 2), vec![(1.0, 0), (1.0, 1)]);

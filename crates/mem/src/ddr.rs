@@ -315,6 +315,14 @@ impl Dimm {
     /// previous row's bursts (bank-level parallelism), matching how an
     /// FR-FCFS controller pipelines a sequential scan.
     ///
+    /// Interior full rows are reserved in refresh-period batches via
+    /// [`SerialResource::reserve_many`] — bit-identical timing and stats to
+    /// the row-by-row loop (a property test checks this against a reference
+    /// implementation), but O(rows / rows-per-refresh-period) instead of
+    /// O(rows). The first row (activate lead-in), the final `banks + 1`
+    /// rows (per-bank open-row/ready state) and any partial rows stay on
+    /// the per-row path.
+    ///
     /// # Panics
     ///
     /// Panics if the range exceeds the DIMM capacity or `bytes` is zero.
@@ -343,6 +351,46 @@ impl Dimm {
 
         while remaining > 0 {
             let in_row = (row_bytes - (offset % row_bytes)).min(remaining);
+
+            // Batched fast path: runs of interior full rows within one
+            // refresh period collapse into a single bus reservation. The
+            // per-row loop below would give every one of them zero lead-in,
+            // a start of `refresh_adjust(now.max(bus.free_at()))` (the
+            // identity inside a period, since starts advance monotonically
+            // past the blackout) and an identical service time, so
+            // `reserve_many` reproduces its timing exactly. The final
+            // `banks + 1` rows are excluded so each bank's open-row and
+            // ready-at state is written by the genuine last row touching it.
+            if first_start.is_some() && in_row == row_bytes {
+                let full_rows_left = remaining / row_bytes;
+                let tail_rows = self.config.banks + 1;
+                if full_rows_left > tail_rows {
+                    let lines_per_row = row_bytes / line;
+                    let row_service = t.burst_time().scaled(lines_per_row);
+                    let p_adj = self.refresh_adjust(now.max(self.bus.free_at()));
+                    let refi = t.t_refi.as_ps();
+                    let period_end = (p_adj.as_ps() / refi + 1) * refi;
+                    // Rows fitting before the next blackout: starts are
+                    // p_adj + i*service, valid while strictly below the
+                    // period end.
+                    let fit = (period_end - p_adj.as_ps()).div_ceil(row_service.as_ps().max(1));
+                    let take = fit.min(full_rows_left - tail_rows);
+                    if take > 0 {
+                        let res = self.bus.reserve_many(p_adj, row_service, take);
+                        complete = res.ready;
+                        self.stats.activations += take;
+                        self.stats.bytes += take * row_bytes;
+                        match kind {
+                            AccessKind::Read => self.stats.read_bursts += take * lines_per_row,
+                            AccessKind::Write => self.stats.write_bursts += take * lines_per_row,
+                        }
+                        offset += take * row_bytes;
+                        remaining -= take * row_bytes;
+                        continue;
+                    }
+                }
+            }
+
             let lines = in_row.div_ceil(line);
             let burst_total = t.burst_time().scaled(lines);
 
@@ -414,6 +462,63 @@ mod tests {
 
     fn dimm() -> Dimm {
         Dimm::new(DimmConfig::ddr4_16gb())
+    }
+
+    /// The pre-batching row-by-row stream, kept verbatim as the equivalence
+    /// oracle for the `reserve_many` fast path in [`Dimm::stream`].
+    fn stream_reference(
+        d: &mut Dimm,
+        now: SimTime,
+        addr: u64,
+        bytes: u64,
+        kind: AccessKind,
+        policy: RowPolicy,
+    ) -> Reservation {
+        let t = d.config.timing;
+        let row_bytes = d.config.row_bytes;
+        let line = d.config.line_bytes;
+
+        let mut offset = addr;
+        let mut remaining = bytes;
+        let mut first_start: Option<SimTime> = None;
+        let mut complete = now;
+
+        while remaining > 0 {
+            let in_row = (row_bytes - (offset % row_bytes)).min(remaining);
+            let lines = in_row.div_ceil(line);
+            let burst_total = t.burst_time().scaled(lines);
+            let lead_in = if first_start.is_none() {
+                t.cycles(t.t_rcd + t.cl)
+            } else {
+                SimDuration::ZERO
+            };
+            let start = d.refresh_adjust(now.max(d.bus.free_at()));
+            let res = d.bus.reserve(start + lead_in, burst_total);
+            first_start.get_or_insert(res.start - lead_in);
+            complete = res.ready;
+
+            d.stats.activations += 1;
+            d.stats.bytes += lines * line;
+            match kind {
+                AccessKind::Read => d.stats.read_bursts += lines,
+                AccessKind::Write => d.stats.write_bursts += lines,
+            }
+            let (bank_idx, row) = d.locate(offset);
+            d.banks[bank_idx].open_row = match policy {
+                RowPolicy::OpenPage => Some(row),
+                RowPolicy::ClosedRow => None,
+            };
+            d.banks[bank_idx].ready_at = complete;
+
+            offset += in_row;
+            remaining -= in_row;
+        }
+
+        Reservation {
+            start: first_start.expect("stream issued at least one row"),
+            ready: complete,
+            complete,
+        }
     }
 
     #[test]
@@ -617,6 +722,54 @@ mod tests {
             let rate = bytes as f64 / secs;
             prop_assert!(rate <= d.peak_bandwidth_bytes_per_sec() as f64 * 1.001,
                 "rate {rate:.3e}");
+        }
+
+        /// The batched stream is bit-identical to the row-by-row reference:
+        /// same reservation, stats, bus calendar, and per-bank state, for
+        /// arbitrary (mis)alignment, size, policy and prior traffic.
+        #[test]
+        fn batched_stream_matches_row_by_row_reference(
+            addr_lines in 0u64..(1u64 << 14),
+            misalign in 0u64..64,
+            extra_bytes in 0u64..16_384,
+            kib in 1u64..2_048,
+            write in any::<bool>(),
+            closed in any::<bool>(),
+            pre in proptest::collection::vec(0u64..(1u64 << 20), 0..6),
+        ) {
+            let mut fast = dimm();
+            let mut slow = dimm();
+            let kind = if write { AccessKind::Write } else { AccessKind::Read };
+            let policy = if closed { RowPolicy::ClosedRow } else { RowPolicy::OpenPage };
+
+            // Warm both DIMMs with identical traffic so the stream starts
+            // from a non-trivial bus/bank state.
+            let mut now = SimTime::ZERO;
+            for &a in &pre {
+                let rf = fast.access(now, a, kind, policy);
+                let rs = slow.access(now, a, kind, policy);
+                prop_assert_eq!(rf, rs);
+                now = rf.complete;
+            }
+
+            let addr = addr_lines * 64 + misalign;
+            let bytes = (kib << 10) + extra_bytes; // up to ~2 MiB, odd tails
+            let rf = fast.stream(now, addr, bytes, kind, policy);
+            let rs = stream_reference(&mut slow, now, addr, bytes, kind, policy);
+            prop_assert_eq!(rf, rs);
+            prop_assert_eq!(fast.stats, slow.stats);
+            prop_assert_eq!(fast.bus.free_at(), slow.bus.free_at());
+            prop_assert_eq!(fast.bus.busy_time(), slow.bus.busy_time());
+            prop_assert_eq!(fast.bus.served(), slow.bus.served());
+            for (b, (f, s)) in fast.banks.iter().zip(&slow.banks).enumerate() {
+                prop_assert_eq!(f.open_row, s.open_row, "bank {} open row", b);
+                prop_assert_eq!(f.ready_at, s.ready_at, "bank {} ready", b);
+            }
+
+            // A follow-up access observes the same world.
+            let f2 = fast.access(rf.complete, addr, kind, policy);
+            let s2 = slow.access(rs.complete, addr, kind, policy);
+            prop_assert_eq!(f2, s2);
         }
 
         /// Closed-row policy never produces a row hit.

@@ -1,0 +1,514 @@
+//! The calendar (bucketed) priority queue backing [`crate::EventQueue`].
+//!
+//! A classic calendar queue [Brown 1988] keyed by `(time, seq)`: the near
+//! future is a circular array of *buckets*, each covering one `width`-ps
+//! slot of the current *day* (`width * buckets.len()` ps); events beyond
+//! the current day wait in an overflow heap and are filed into buckets
+//! when their day arrives. For the near-monotonic timestamp streams a
+//! discrete-event core produces, push and pop are O(1) amortized — no
+//! `O(log n)` sift per event — while the slot partition keeps the full
+//! `(time, seq)` total order exact.
+//!
+//! Determinism contract: [`Calendar::pop`] always removes the entry with
+//! the smallest `(time, seq)` pair, so same-instant entries leave in push
+//! (sequence) order — byte-for-byte the order the previous binary-heap
+//! implementation produced. The bucket layout (width, day anchor, bucket
+//! count) is pure bookkeeping: resizing re-files entries but never changes
+//! the pop order.
+//!
+//! Steady state allocates nothing: buckets are `Vec`s that keep their
+//! capacity across the push/pop churn, and the overflow heap only grows.
+//! Allocation happens when the queue outgrows its bucket array (amortized
+//! by the doubling policy), when a pop finds a crowded bucket whose width
+//! can still be split (amortized by the halving/doubling guard on
+//! `last_sized_len`), and inside [`Calendar::retune`], which runs at most
+//! once per `TUNE_INTERVAL` pops.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Smallest bucket count; covers the double-digit pending-event working
+/// sets the machine model produces without any resizing.
+const MIN_BUCKETS: usize = 32;
+/// Largest bucket count; bounds rebuild cost and per-day scan work.
+const MAX_BUCKETS: usize = 1 << 16;
+/// Bucket width used before any entries have established a timescale.
+const DEFAULT_WIDTH: u64 = 1 << 20; // ~1 us
+/// Pops between sparsity checks (see [`Calendar::retune`]).
+const TUNE_INTERVAL: u64 = 256;
+/// A popped bucket holding more than this many entries is *crowded*: the
+/// width is too coarse for the event spacing and every pop is scanning
+/// linearly. Crowding triggers a rebuild (which re-estimates the width
+/// from the actual time span) unless the queue size hasn't meaningfully
+/// changed since the last rebuild — same-instant pileups cannot be split
+/// by any width, and rebuilding again would thrash.
+const CROWDED: usize = 32;
+
+/// One filed entry. The payload never participates in ordering.
+struct Filed<E> {
+    at: u64,
+    seq: u64,
+    payload: E,
+}
+
+/// Overflow-heap entry, inverted so the max-heap pops the earliest first.
+struct Overflow<E> {
+    at: u64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Overflow<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Overflow<E> {}
+impl<E> PartialOrd for Overflow<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Overflow<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The calendar structure. Times are raw picosecond counts; sequence
+/// numbers are assigned by the caller ([`crate::EventQueue`]) and must be
+/// unique.
+pub(crate) struct Calendar<E> {
+    /// The current day's slots. `buckets[i]` holds exactly the entries
+    /// with `day_start + i*width <= at < day_start + (i+1)*width`.
+    buckets: Vec<Vec<Filed<E>>>,
+    /// Slot width in picoseconds (>= 1).
+    width: u64,
+    /// First instant of the current day.
+    day_start: u64,
+    /// All buckets before `cursor` are empty.
+    cursor: usize,
+    /// Entries currently filed in buckets (the rest are in `overflow`).
+    in_buckets: usize,
+    /// Entries at or beyond the current day's end.
+    overflow: BinaryHeap<Overflow<E>>,
+    len: usize,
+    /// Timestamp of the last popped entry. The caller guarantees pushes
+    /// are never earlier, so anchoring `day_start` at or before `clock`
+    /// keeps every future entry inside `[day_start, ..)`.
+    clock: u64,
+    /// Pops since the last retune check.
+    pops: u64,
+    /// Empty buckets skipped since the last retune check.
+    scans: u64,
+    /// Queue length at the last rebuild — the crowding check only fires
+    /// again once the population has doubled or halved since then.
+    last_sized_len: usize,
+}
+
+impl<E> Calendar<E> {
+    pub(crate) fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Pre-sizes the bucket array so `capacity` near-term entries file
+    /// without reallocating.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let n = bucket_count_for(capacity);
+        let per_bucket = capacity.div_ceil(n).max(1);
+        let mut buckets = Vec::with_capacity(n);
+        buckets.resize_with(n, || Vec::with_capacity(per_bucket));
+        Calendar {
+            buckets,
+            width: DEFAULT_WIDTH,
+            day_start: 0,
+            cursor: 0,
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            clock: 0,
+            pops: 0,
+            scans: 0,
+            last_sized_len: 0,
+        }
+    }
+
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.overflow.reserve(additional);
+    }
+
+    /// Entries the structure can hold without growing any allocation.
+    pub(crate) fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn day_len(&self) -> u64 {
+        self.width.saturating_mul(self.buckets.len() as u64)
+    }
+
+    fn day_end(&self) -> u64 {
+        self.day_start.saturating_add(self.day_len())
+    }
+
+    fn slot(&self, at: u64) -> usize {
+        (((at - self.day_start) / self.width) as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Files `payload` under `(at, seq)`. The caller guarantees `at` is
+    /// not in the past and `seq` increases across pushes.
+    pub(crate) fn push(&mut self, at: u64, seq: u64, payload: E) {
+        if self.len == 0 {
+            // Re-anchor the (empty) calendar on the current clock so the
+            // day covers every legal push time, however far ahead `at` is.
+            self.day_start = (self.clock / self.width) * self.width;
+            self.cursor = 0;
+        }
+        debug_assert!(at >= self.day_start, "push below the day anchor");
+        if at < self.day_end() {
+            let idx = self.slot(at);
+            self.buckets[idx].push(Filed { at, seq, payload });
+            self.in_buckets += 1;
+        } else {
+            self.overflow.push(Overflow { at, seq, payload });
+        }
+        self.len += 1;
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    /// Moves every overflow entry belonging to the current day into its
+    /// bucket.
+    fn drain_overflow(&mut self) {
+        let day_end = self.day_end();
+        while let Some(top) = self.overflow.peek() {
+            if top.at >= day_end {
+                break;
+            }
+            let e = self.overflow.pop().expect("peeked entry vanished");
+            let idx = self.slot(e.at);
+            self.buckets[idx].push(Filed {
+                at: e.at,
+                seq: e.seq,
+                payload: e.payload,
+            });
+            self.in_buckets += 1;
+        }
+    }
+
+    /// Advances `cursor` (and, when needed, the day) to the first
+    /// non-empty bucket. Only call with `len > 0`.
+    fn seek(&mut self) {
+        loop {
+            if self.in_buckets == 0 {
+                // Nothing this day: jump straight to the overflow min's
+                // day instead of walking empty days bucket by bucket.
+                let top_at = self.overflow.peek().expect("len > 0").at;
+                self.day_start = (top_at / self.width) * self.width;
+                self.cursor = 0;
+                self.drain_overflow();
+                debug_assert!(self.in_buckets > 0);
+                continue;
+            }
+            if self.cursor >= self.buckets.len() {
+                self.day_start = self.day_end();
+                self.cursor = 0;
+                self.drain_overflow();
+                continue;
+            }
+            if self.buckets[self.cursor].is_empty() {
+                self.cursor += 1;
+                self.scans += 1;
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Index of the `(at, seq)`-minimal entry of `bucket`.
+    fn min_index(bucket: &[Filed<E>]) -> usize {
+        let mut mi = 0;
+        for (i, e) in bucket.iter().enumerate().skip(1) {
+            if (e.at, e.seq) < (bucket[mi].at, bucket[mi].seq) {
+                mi = i;
+            }
+        }
+        mi
+    }
+
+    /// Removes and returns the `(at, seq)`-minimal entry.
+    pub(crate) fn pop(&mut self) -> Option<(u64, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.seek();
+        if self.buckets[self.cursor].len() > CROWDED
+            && self.width > 1
+            && (self.len > 2 * self.last_sized_len || 2 * self.len < self.last_sized_len)
+        {
+            self.rebuild();
+            self.seek();
+        }
+        let bucket = &mut self.buckets[self.cursor];
+        let mi = Self::min_index(bucket);
+        let e = bucket.swap_remove(mi);
+        self.in_buckets -= 1;
+        self.len -= 1;
+        self.clock = e.at;
+        self.pops += 1;
+        if self.pops >= TUNE_INTERVAL {
+            self.retune();
+        }
+        Some((e.at, e.seq, e.payload))
+    }
+
+    /// After popping an entry at `at` (which leaves `cursor` on its
+    /// bucket), drains every remaining same-instant entry in ascending
+    /// sequence order, appending the payloads to `out`.
+    pub(crate) fn drain_instant_into(&mut self, at: u64, out: &mut Vec<E>) {
+        loop {
+            let bucket = &mut self.buckets[self.cursor];
+            let mut best: Option<usize> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if e.at == at && best.is_none_or(|b| e.seq < bucket[b].seq) {
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    out.push(bucket.swap_remove(i).payload);
+                    self.in_buckets -= 1;
+                    self.len -= 1;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Earliest pending `(at, seq)` without removing it.
+    pub(crate) fn peek(&self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.in_buckets == 0 {
+            let top = self.overflow.peek().expect("len > 0");
+            return Some((top.at, top.seq));
+        }
+        // Entries beyond `cursor` are slot-partitioned: the first
+        // non-empty bucket holds the minimum. Overflow entries are all at
+        // or beyond the day's end, so they can never undercut it.
+        let mut c = self.cursor;
+        loop {
+            debug_assert!(c < self.buckets.len(), "in_buckets > 0 but no bucket found");
+            let bucket = &self.buckets[c];
+            if bucket.is_empty() {
+                c += 1;
+                continue;
+            }
+            let e = &bucket[Self::min_index(bucket)];
+            return Some((e.at, e.seq));
+        }
+    }
+
+    /// Checks whether the bucket layout still fits the workload and
+    /// rebuilds if not: too many empty-bucket skips per pop means the
+    /// width is too fine for the event spacing.
+    fn retune(&mut self) {
+        let sparse = self.scans > 8 * self.pops;
+        self.pops = 0;
+        self.scans = 0;
+        if sparse && self.len > 0 {
+            self.rebuild();
+        }
+    }
+
+    /// Re-files every entry under a freshly estimated width and bucket
+    /// count. Order is untouched — the calendar layout never participates
+    /// in the `(at, seq)` comparison.
+    fn rebuild(&mut self) {
+        self.last_sized_len = self.len;
+        let mut entries: Vec<Filed<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        entries.extend(self.overflow.drain().map(|e| Filed {
+            at: e.at,
+            seq: e.seq,
+            payload: e.payload,
+        }));
+        debug_assert_eq!(entries.len(), self.len);
+
+        if !entries.is_empty() {
+            let min = entries.iter().map(|e| e.at).min().expect("non-empty");
+            let max = entries.iter().map(|e| e.at).max().expect("non-empty");
+            let span = max - min;
+            // Aim for a day covering ~4x the span of what is currently
+            // queued: pushes land a little past the pending window in the
+            // steady state, and a too-tight day would bounce them through
+            // the overflow heap (heap push + heap pop + bucket re-file)
+            // instead of filing them straight into a bucket.
+            self.width =
+                (span.saturating_mul(4) / entries.len() as u64).clamp(1, DEFAULT_WIDTH * 1024);
+            let n = bucket_count_for(entries.len());
+            if n != self.buckets.len() {
+                self.buckets.resize_with(n, Vec::new);
+                self.buckets.truncate(n);
+            }
+            // Anchor at the clock: every pending entry sits at or after
+            // the last pop, and so does every legal future push.
+            self.day_start = (self.clock / self.width) * self.width;
+        }
+        self.cursor = 0;
+        self.in_buckets = 0;
+        self.len = 0;
+        let day_end = self.day_end();
+        for e in entries {
+            if e.at < day_end {
+                let idx = self.slot(e.at);
+                self.buckets[idx].push(e);
+                self.in_buckets += 1;
+            } else {
+                self.overflow.push(Overflow {
+                    at: e.at,
+                    seq: e.seq,
+                    payload: e.payload,
+                });
+            }
+            self.len += 1;
+        }
+    }
+}
+
+/// Power-of-two bucket count targeting ~2 entries per bucket.
+fn bucket_count_for(entries: usize) -> usize {
+    (entries / 2)
+        .next_power_of_two()
+        .clamp(MIN_BUCKETS, MAX_BUCKETS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(c: &mut Calendar<u32>) -> Vec<(u64, u64, u32)> {
+        std::iter::from_fn(|| c.pop()).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut c = Calendar::new();
+        c.push(30, 0, 1);
+        c.push(10, 1, 2);
+        c.push(10, 2, 3);
+        c.push(20, 3, 4);
+        let got: Vec<u32> = drain(&mut c).into_iter().map(|(_, _, p)| p).collect();
+        assert_eq!(got, [2, 3, 4, 1]);
+    }
+
+    #[test]
+    fn far_future_entries_overflow_and_return() {
+        let mut c = Calendar::new();
+        let far = DEFAULT_WIDTH * (MIN_BUCKETS as u64) * 1000;
+        c.push(far, 0, 9);
+        c.push(5, 1, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(), Some((5, 1)));
+        assert_eq!(c.pop(), Some((5, 1, 1)));
+        // The jump path must land on the overflow entry without walking
+        // every empty day in between.
+        assert_eq!(c.pop(), Some((far, 0, 9)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn growth_rebuild_preserves_order() {
+        let mut c = Calendar::new();
+        let n: u64 = 10_000;
+        for i in 0..n {
+            // Scrambled times with collisions.
+            c.push((i * 7919) % 1000, i, i as u32);
+        }
+        let got = drain(&mut c);
+        assert_eq!(got.len(), n as usize);
+        for w in got.windows(2) {
+            assert!(
+                (w[0].0, w[0].1) < (w[1].0, w[1].1),
+                "order violated: {:?} then {:?}",
+                (w[0].0, w[0].1),
+                (w[1].0, w[1].1)
+            );
+        }
+    }
+
+    #[test]
+    fn drain_instant_takes_fifo_ties_only() {
+        let mut c = Calendar::new();
+        c.push(10, 0, 1);
+        c.push(10, 1, 2);
+        c.push(11, 2, 4);
+        c.push(10, 3, 3);
+        let (at, _, first) = c.pop().expect("non-empty");
+        assert_eq!((at, first), (10, 1));
+        let mut out = vec![first];
+        c.drain_instant_into(at, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        assert_eq!(c.pop(), Some((11, 2, 4)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_over_many_days() {
+        // Near-monotonic churn far past the initial day window.
+        let mut c = Calendar::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for i in 0..64u64 {
+            c.push(i * 100, seq, i as u32);
+            seq += 1;
+        }
+        for i in 0..2_000u64 {
+            let (at, _, _) = c.pop().expect("non-empty");
+            assert!(at >= now, "time went backwards");
+            now = at;
+            c.push(now + DEFAULT_WIDTH * 3 + (i % 7) * 1000, seq, i as u32);
+            seq += 1;
+        }
+        assert_eq!(c.len(), 64);
+    }
+
+    #[test]
+    fn crowded_bucket_triggers_width_rebuild() {
+        // A pre-sized calendar never grows its bucket array, so a burst of
+        // tightly spaced events piles into one default-width slot; the
+        // first pop must detect the crowding and re-estimate the width,
+        // keeping pops O(entries-per-instant) instead of O(len).
+        let mut c = Calendar::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            c.push(i / 16, i, i as u32);
+        }
+        assert_eq!(c.width, DEFAULT_WIDTH, "no rebuild during pushes");
+        assert_eq!(c.pop(), Some((0, 0, 0)));
+        assert!(c.width < DEFAULT_WIDTH, "crowding must re-estimate width");
+        let got = drain(&mut c);
+        assert_eq!(got.len(), 9_999);
+        for w in got.windows(2) {
+            assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+        }
+    }
+
+    #[test]
+    fn capacity_is_at_least_requested() {
+        let c: Calendar<u32> = Calendar::with_capacity(64);
+        assert!(c.capacity() >= 64);
+        let mut c: Calendar<u32> = Calendar::new();
+        c.reserve(32);
+        assert!(c.capacity() >= 32);
+    }
+}

@@ -1,35 +1,7 @@
 //! The deterministic event queue driving every simulation in the workspace.
 
+use crate::calendar::Calendar;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// One scheduled entry: the timestamp, a tie-breaking sequence number and the
-/// payload. Stored inverted so `BinaryHeap` (a max-heap) pops the earliest
-/// event first.
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: smaller (time, seq) sorts greater, so the heap pops it.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
 
 /// A priority queue of timestamped events with deterministic FIFO ordering
 /// among events scheduled for the same instant.
@@ -37,6 +9,13 @@ impl<E> Ord for Entry<E> {
 /// Determinism matters here: the experiment harness asserts byte-identical
 /// reports across runs, and several GAM scheduling decisions are sensitive to
 /// the order in which same-cycle completions are observed.
+///
+/// Internally this is a calendar (bucketed) queue — see
+/// [`crate::calendar`] — giving O(1) amortized push/pop for the
+/// near-monotonic timestamp streams a simulation produces, instead of the
+/// `O(log n)` sift of a binary heap. The pop order is defined purely by
+/// the `(time, sequence)` pair, so the switch of backing structure is
+/// unobservable.
 ///
 /// # Example
 ///
@@ -51,7 +30,7 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(order, ["a", "b", "c"]);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    cal: Calendar<E>,
     next_seq: u64,
     now: SimTime,
 }
@@ -61,19 +40,18 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            cal: Calendar::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
     }
 
     /// Creates an empty queue with room for `capacity` pending events, so a
-    /// simulation sized from its blueprint never reallocates the heap while
-    /// running.
+    /// simulation sized from its blueprint never reallocates while running.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            cal: Calendar::with_capacity(capacity),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -81,13 +59,13 @@ impl<E> EventQueue<E> {
 
     /// Reserves capacity for at least `additional` more events.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.cal.reserve(additional);
     }
 
     /// Number of events the queue can hold without reallocating.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.cal.capacity()
     }
 
     /// The timestamp of the most recently popped event (the simulation's
@@ -112,7 +90,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        self.cal.push(at.as_ps(), seq, payload);
     }
 
     /// Schedules `payload` at `delta` after the current simulation time.
@@ -124,9 +102,10 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, advancing the current time to
     /// its timestamp. Returns `None` when the queue is drained.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        self.now = entry.at;
-        Some((entry.at, entry.payload))
+        let (at, _seq, payload) = self.cal.pop()?;
+        let at = SimTime::from_ps(at);
+        self.now = at;
+        Some((at, payload))
     }
 
     /// Drains **every event scheduled for the earliest pending instant** into
@@ -140,36 +119,29 @@ impl<E> EventQueue<E> {
     /// never have belonged to the batch being drained.
     pub fn pop_batch_into(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
         out.clear();
-        let first = self.heap.pop()?;
-        let at = first.at;
-        self.now = at;
-        out.push(first.payload);
-        while let Some(e) = self.heap.peek() {
-            if e.at != at {
-                break;
-            }
-            let e = self.heap.pop().expect("peeked entry vanished");
-            out.push(e.payload);
-        }
-        Some(at)
+        let (at, _seq, payload) = self.cal.pop()?;
+        self.now = SimTime::from_ps(at);
+        out.push(payload);
+        self.cal.drain_instant_into(at, out);
+        Some(self.now)
     }
 
     /// Timestamp of the earliest pending event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.cal.peek().map(|(at, _)| SimTime::from_ps(at))
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.cal.len()
     }
 
     /// `true` when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.cal.is_empty()
     }
 }
 
@@ -182,7 +154,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("len", &self.heap.len())
+            .field("len", &self.cal.len())
             .field("now", &self.now)
             .finish()
     }

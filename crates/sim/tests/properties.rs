@@ -2,6 +2,54 @@
 
 use proptest::prelude::*;
 use reach_sim::{Bandwidth, EventQueue, Frequency, MultiResource, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The pre-calendar reference implementation of the event-queue contract: a
+/// binary heap ordered by `(time, seq)` with `now` advancing on pop. The
+/// calendar-backed [`EventQueue`] must be behaviorally indistinguishable
+/// from it.
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl HeapQueue {
+    fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    fn push(&mut self, at: u64, payload: u32) {
+        assert!(at >= self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq, payload)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let Reverse((at, _, payload)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, payload))
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<u32>) -> Option<u64> {
+        out.clear();
+        let (at, payload) = self.pop()?;
+        out.push(payload);
+        while let Some(&Reverse((t, _, _))) = self.heap.peek() {
+            if t != at {
+                break;
+            }
+            out.push(self.heap.pop().expect("peeked").0 .2);
+        }
+        Some(at)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -20,6 +68,62 @@ proptest! {
             times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         want.sort_by_key(|&(t, _)| t); // stable: preserves insertion order
         prop_assert_eq!(got, want);
+    }
+
+    /// The calendar-backed queue and the binary-heap reference produce
+    /// identical pop sequences (and identical `now`) over randomized
+    /// push/pop/`push_in`/batch-pop interleavings, including same-instant
+    /// ties — the ordering contract the simulator's determinism rests on.
+    #[test]
+    fn calendar_matches_binary_heap_reference(
+        ops in proptest::collection::vec((0u8..8, 0u64..50_000), 1..400),
+    ) {
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut next_payload = 0u32;
+        let mut cal_batch = Vec::new();
+        let mut heap_batch = Vec::new();
+        for &(kind, delta) in &ops {
+            match kind {
+                // Push at an absolute future time; delta % 4 == 0 forces
+                // frequent same-instant collisions via coarse quantization.
+                0..=2 => {
+                    let at = heap.now + if delta % 4 == 0 { 0 } else { delta / 4 };
+                    cal.push(SimTime::from_ps(at), next_payload);
+                    heap.push(at, next_payload);
+                    next_payload += 1;
+                }
+                // Relative scheduling, far-future included to exercise the
+                // calendar's overflow heap and day jumps.
+                3..=4 => {
+                    let d = delta * 1_000_003; // up to ~50 us out
+                    cal.push_in(SimDuration::from_ps(d), next_payload);
+                    heap.push(heap.now + d, next_payload);
+                    next_payload += 1;
+                }
+                5..=6 => {
+                    let got = cal.pop().map(|(t, e)| (t.as_ps(), e));
+                    prop_assert_eq!(got, heap.pop());
+                }
+                _ => {
+                    let t_cal = cal.pop_batch_into(&mut cal_batch).map(SimTime::as_ps);
+                    let t_heap = heap.pop_batch(&mut heap_batch);
+                    prop_assert_eq!(t_cal, t_heap);
+                    prop_assert_eq!(&cal_batch, &heap_batch);
+                }
+            }
+            prop_assert_eq!(cal.now().as_ps(), heap.now);
+            prop_assert_eq!(cal.len(), heap.heap.len());
+        }
+        // Drain whatever is left and compare the tails.
+        loop {
+            let got = cal.pop().map(|(t, e)| (t.as_ps(), e));
+            let want = heap.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
     }
 
     /// Popping never goes back in time.

@@ -184,5 +184,81 @@ mod kernel_chunking {
             prop_assert_eq!(seq.inertia.to_bits(), par.inertia.to_bits());
             prop_assert_eq!(seq.iterations, par.iterations);
         }
+
+        /// The register-blocked micro-kernel agrees bit-for-bit with a
+        /// scalar model of its accumulation contract: lane `l` of an
+        /// 8-lane accumulator sums products at `t ≡ l (mod 8)` in order,
+        /// then the lanes fold pairwise. Wide (4-column) blocks, the
+        /// remainder-column path and every chunking must all match it.
+        #[test]
+        fn micro_kernel_matches_lane_model_bitwise(
+            m in 1usize..40,
+            n in 1usize..24,
+            k in 1usize..40,
+            jobs in 1usize..9,
+            seedling in 0u64..1000,
+        ) {
+            let fill = |len: usize, salt: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0xDEAD_BEEF).wrapping_add(salt);
+                        ((x % 509) as f32 - 254.0) / 31.0
+                    })
+                    .collect()
+            };
+            let a = Matrix::from_vec(m, k, fill(m * k, seedling));
+            let b = Matrix::from_vec(n, k, fill(n * k, seedling + 1));
+            let got = gemm_nt_jobs(&a, &b, jobs);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut lanes = [0.0f32; 8];
+                    for (t, (x, y)) in a.row(i).iter().zip(b.row(j)).enumerate() {
+                        lanes[t % 8] += x * y;
+                    }
+                    let q = [
+                        lanes[0] + lanes[4],
+                        lanes[1] + lanes[5],
+                        lanes[2] + lanes[6],
+                        lanes[3] + lanes[7],
+                    ];
+                    let want = (q[0] + q[2]) + (q[1] + q[3]);
+                    prop_assert_eq!(got.row(i)[j].to_bits(), want.to_bits(),
+                        "({}, {}): {} vs {}", i, j, got.row(i)[j], want);
+                }
+            }
+        }
+
+        /// Decomposed batch distances (GEMM + broadcast norms) are
+        /// bit-identical at any worker count — the short-list stage's
+        /// output cannot depend on REACH_KERNEL_JOBS.
+        #[test]
+        fn batch_dist_parallel_matches_sequential_bitwise(
+            nq in 1usize..150,
+            np in 1usize..40,
+            d in 1usize..24,
+            seedling in 0u64..1000,
+        ) {
+            let fill = |len: usize, salt: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(2_654_435_761).wrapping_add(salt);
+                        ((x % 2003) as f32 - 1001.0) / 97.0
+                    })
+                    .collect()
+            };
+            let q = Matrix::from_vec(nq, d, fill(nq * d, seedling));
+            let p = Matrix::from_vec(np, d, fill(np * d, seedling + 1));
+            // batch_dist_sq reads REACH_KERNEL_JOBS via gemm_nt; emulate
+            // both paths through the explicit-jobs entry point instead of
+            // mutating the environment.
+            let dots_seq = gemm_nt_jobs(&q, &p, 1);
+            let dots_par = gemm_nt_jobs(&q, &p, 7);
+            prop_assert_eq!(
+                dots_seq.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                dots_par.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            let direct = reach_cbir::linalg::batch_dist_sq(&q, &p);
+            prop_assert_eq!((direct.rows(), direct.cols()), (nq, np));
+        }
     }
 }
