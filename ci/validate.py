@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validators for the repository's JSON exports and golden files.
+
+One place for every check CI used to run as inline heredoc-python, so the
+same validations run locally:
+
+    ci/validate.py metrics metrics.json          # reach-run-metrics-v1
+    ci/validate.py bench BENCH_PR2.json BENCH_PR5.json ...
+    ci/validate.py golden tests/golden/fingerprints.txt
+    ci/validate.py selftest                      # the validators' own tests
+
+Exit status is non-zero on the first failed check, with the offending file
+and reason on stderr.
+"""
+
+import json
+import re
+import sys
+
+# Minimum claimed speedup per before/after record schema. A record whose
+# schema is missing here only gets the arithmetic checks.
+SPEEDUP_BARS = {
+    "reach-bench-pr3-v1": 1.5,
+    "reach-bench-pr4-v1": 1.4,
+    "reach-bench-pr5-v1": 1.3,
+}
+
+FINGERPRINT_LINE = re.compile(r"^([0-9a-f]{32}|-{32})  \S.*$")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise ValidationError(message)
+
+
+def validate_metrics(doc):
+    """A reach-run-metrics-v1 telemetry export from the experiments binary."""
+    require(doc.get("schema") == "reach-run-metrics-v1",
+            f"bad schema {doc.get('schema')!r}")
+    scenarios = doc.get("scenarios")
+    require(scenarios, "no scenarios captured")
+    for s in scenarios:
+        require(s.get("metrics", {}).get("metrics"),
+                f"empty metrics for {s.get('label')!r}")
+    proc = doc.get("process", {}).get("metrics", {})
+    for key in (
+        "cbir.cache_hits",
+        "cbir.cache_misses",
+        "runner.result_cache_hits",
+        "runner.result_cache_misses",
+    ):
+        require(key in proc, f"missing process counter {key}")
+    return f"{len(scenarios)} scenario snapshot(s)"
+
+
+def validate_bench(doc):
+    """Either a reach-bench-v1 wall-clock report or a before/after record."""
+    schema = doc.get("schema")
+    if schema == "reach-bench-v1":
+        require(doc.get("experiments"), "no experiments captured")
+        return f"{len(doc['experiments'])} experiment(s)"
+    require(isinstance(schema, str) and schema.startswith("reach-bench-pr"),
+            f"bad schema {schema!r}")
+    before = doc.get("before", {}).get("wall_s")
+    after = doc.get("after", {}).get("wall_s")
+    speedup = doc.get("speedup")
+    require(isinstance(before, (int, float)) and before > 0,
+            f"bad before.wall_s {before!r}")
+    require(isinstance(after, (int, float)) and after > 0,
+            f"bad after.wall_s {after!r}")
+    require(after < before, f"no improvement: {before}s -> {after}s")
+    require(isinstance(speedup, (int, float)), f"bad speedup {speedup!r}")
+    require(abs(speedup - before / after) < 0.05,
+            f"claimed speedup {speedup} != measured {before / after:.2f}")
+    bar = SPEEDUP_BARS.get(schema)
+    if bar is not None:
+        require(speedup >= bar, f"speedup {speedup} below the {bar}x bar")
+    return f"{before}s -> {after}s ({speedup}x)"
+
+
+def validate_golden_fingerprints(text):
+    """The fingerprint stability file: one '<digest>  <label>' row per
+    suite scenario, 32 lowercase hex digits (or 32 dashes for scenarios
+    that opt out of caching)."""
+    lines = text.splitlines()
+    require(len(lines) >= 100, f"expected the full suite, saw {len(lines)} rows")
+    for i, line in enumerate(lines, 1):
+        require(FINGERPRINT_LINE.match(line), f"malformed row {i}: {line!r}")
+    opted_out = sum(1 for line in lines if line.startswith("-" * 32))
+    require(opted_out * 10 < len(lines),
+            f"{opted_out}/{len(lines)} scenarios uncacheable")
+    return f"{len(lines)} fingerprint row(s), {opted_out} uncacheable"
+
+
+def check_file(kind, path):
+    if kind == "golden":
+        with open(path, encoding="utf-8") as f:
+            summary = validate_golden_fingerprints(f.read())
+    else:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        summary = {"metrics": validate_metrics, "bench": validate_bench}[kind](doc)
+    print(f"{path} ok: {summary}")
+
+
+def selftest():
+    """Unit-style checks that the validators accept known-good documents
+    and reject each seeded defect."""
+    good_metrics = {
+        "schema": "reach-run-metrics-v1",
+        "scenarios": [{"label": "a", "metrics": {"metrics": [{"name": "x"}]}}],
+        "process": {"metrics": {
+            "cbir.cache_hits": 1, "cbir.cache_misses": 2,
+            "runner.result_cache_hits": 3, "runner.result_cache_misses": 4,
+        }},
+    }
+    validate_metrics(good_metrics)
+
+    good_record = {
+        "schema": "reach-bench-pr5-v1",
+        "before": {"wall_s": 0.30}, "after": {"wall_s": 0.15}, "speedup": 2.0,
+    }
+    validate_bench(good_record)
+    validate_bench({"schema": "reach-bench-v1", "experiments": [{"id": "fig13"}]})
+
+    good_golden = "\n".join(
+        [f"{i:032x}  sweep/point{i}" for i in range(120)] + ["-" * 32 + "  closure/corun"]
+    )
+    validate_golden_fingerprints(good_golden)
+
+    def rejects(fn, arg, why):
+        try:
+            fn(arg)
+        except ValidationError:
+            return
+        raise SystemExit(f"selftest: validator accepted a bad document: {why}")
+
+    bad = json.loads(json.dumps(good_metrics))
+    del bad["process"]["metrics"]["runner.result_cache_hits"]
+    rejects(validate_metrics, bad, "missing result-cache counter")
+
+    bad = json.loads(json.dumps(good_metrics))
+    bad["scenarios"] = []
+    rejects(validate_metrics, bad, "no scenarios")
+
+    bad = dict(good_record, speedup=1.2)
+    rejects(validate_bench, bad, "speedup below bar and inconsistent")
+
+    bad = dict(good_record, after={"wall_s": 0.24}, speedup=1.25)
+    rejects(validate_bench, bad, "pr5 speedup below the 1.3x bar")
+
+    bad = dict(good_record, before={"wall_s": 0.10})
+    rejects(validate_bench, bad, "after slower than before")
+
+    rejects(validate_bench, {"schema": "reach-bench-v1", "experiments": []},
+            "empty experiment list")
+
+    rejects(validate_golden_fingerprints, "deadbeef  too-short-digest",
+            "short digest / short file")
+    rejects(validate_golden_fingerprints,
+            "\n".join(["-" * 32 + f"  closure/{i}" for i in range(120)]),
+            "everything uncacheable")
+
+    print("selftest ok: all validators accept good and reject bad inputs")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] not in ("metrics", "bench", "golden", "selftest"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    kind = argv[1]
+    if kind == "selftest":
+        selftest()
+        return 0
+    paths = argv[2:]
+    if not paths:
+        print(f"{kind}: no files given", file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            check_file(kind, path)
+        except (ValidationError, OSError, json.JSONDecodeError, KeyError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

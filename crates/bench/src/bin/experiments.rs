@@ -13,15 +13,18 @@
 //! the default sequential run (`--jobs 1`). The wall-clock summary goes to
 //! stderr so stdout stays comparable across job counts.
 //!
+//! A scenario-result cache replays reports for repeated configurations
+//! (several figures and ablations share points); `--no-result-cache`
+//! disables it. Stdout is byte-identical either way.
+//!
 //! `--metrics PATH` writes every executed scenario's machine telemetry
 //! (queue depths, occupancy, link traffic) as `reach-run-metrics-v1` JSON;
 //! `--bench-out PATH` writes per-experiment wall-clock and headline
 //! throughput numbers as `reach-bench-v1` JSON. Both go to files, never to
 //! stdout, so the determinism contract above holds.
 
-use reach::{ScenarioExecutor, SequentialExecutor};
 use reach_bench::runner::{CountingExecutor, RecordingExecutor};
-use reach_bench::{BenchEntry, ScenarioRunner};
+use reach_bench::{BenchEntry, ExperimentsArgs, ScenarioRunner};
 use reach_sim::{MetricValue, MetricsSnapshot};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -38,53 +41,29 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let renderers = reach_bench::renderers();
 
-    let mut jobs = 1usize;
-    let mut metrics_path: Option<String> = None;
-    let mut bench_path: Option<String> = None;
-    let mut args: Vec<String> = Vec::new();
-    let mut it = raw.iter();
-    while let Some(a) = it.next() {
-        if a == "--jobs" {
-            jobs = match it.next().map(|v| v.parse()) {
-                Some(Ok(n)) if n >= 1 => n,
-                _ => {
-                    eprintln!("--jobs needs a positive integer");
-                    return ExitCode::FAILURE;
-                }
-            };
-        } else if a == "--metrics" {
-            match it.next() {
-                Some(p) => metrics_path = Some(p.clone()),
-                None => {
-                    eprintln!("--metrics needs a file path");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else if a == "--bench-out" {
-            match it.next() {
-                Some(p) => bench_path = Some(p.clone()),
-                None => {
-                    eprintln!("--bench-out needs a file path");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else {
-            args.push(a.clone());
+    let parsed = match ExperimentsArgs::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    }
+    };
+    let jobs = parsed.jobs;
+    let metrics_path = parsed.metrics;
+    let bench_path = parsed.bench_out;
 
-    if args.iter().any(|a| a == "--list") {
+    if parsed.list {
         for (name, _) in &renderers {
             println!("{name}");
         }
         return ExitCode::SUCCESS;
     }
 
-    let selected: Vec<&reach_bench::Renderer> = if args.is_empty() {
+    let selected: Vec<&reach_bench::Renderer> = if parsed.ids.is_empty() {
         renderers.iter().collect()
     } else {
         let mut picked = Vec::new();
-        for a in &args {
+        for a in &parsed.ids {
             match renderers.iter().find(|(n, _)| n == a) {
                 Some(r) => picked.push(r),
                 None => {
@@ -103,10 +82,17 @@ fn main() -> ExitCode {
         picked
     };
 
-    let sequential = SequentialExecutor;
-    let runner = ScenarioRunner::new(jobs);
-    let inner: &dyn ScenarioExecutor = if jobs == 1 { &sequential } else { &runner };
-    let recording = RecordingExecutor::new(inner);
+    // Always go through the ScenarioRunner — even at the default
+    // `--jobs 1` — so the scenario-result cache replays repeated
+    // configurations across figures and ablations. Caching, like
+    // parallelism, never changes stdout (enforced by
+    // tests/runner_determinism.rs), only the wall clock.
+    let runner = if parsed.no_result_cache {
+        ScenarioRunner::without_cache(jobs)
+    } else {
+        ScenarioRunner::new(jobs)
+    };
+    let recording = RecordingExecutor::new(&runner);
     let executor = CountingExecutor::new(&recording);
 
     let started = Instant::now();
@@ -149,15 +135,28 @@ fn main() -> ExitCode {
         jobs,
         started.elapsed().as_secs_f64()
     );
-    // Cross-batch distance cache effectiveness — stderr + metrics export
-    // only, so stdout stays byte-comparable.
+    // Cache effectiveness — stderr + metrics export only, so stdout stays
+    // byte-comparable across job counts and cache settings.
     let (cache_hits, cache_misses) = reach_cbir::cache::cache_stats();
     eprintln!("cbir distance cache: {cache_hits} hit(s), {cache_misses} miss(es)");
+    let result_cache = runner.cache_stats();
+    eprintln!(
+        "scenario result cache: {} hit(s), {} miss(es){}",
+        result_cache.hits,
+        result_cache.misses,
+        if parsed.no_result_cache {
+            " (disabled)"
+        } else {
+            ""
+        }
+    );
 
     if let Some(path) = metrics_path {
         let mut process = MetricsSnapshot::new(0);
         process.set_counter("cbir.cache_hits", cache_hits);
         process.set_counter("cbir.cache_misses", cache_misses);
+        process.set_counter("runner.result_cache_hits", result_cache.hits);
+        process.set_counter("runner.result_cache_misses", result_cache.misses);
         let doc = reach_bench::run_metrics_json(&captured, Some(&process));
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

@@ -9,7 +9,13 @@
 //! With `--metrics-dir DIR`, each grid point drops its machine telemetry
 //! as `DIR/<label>.csv` (one row per metric) for spreadsheet or pandas
 //! post-processing. Stdout stays identical with or without the flag.
+//!
+//! `--repeat N` runs the whole grid `N` times in one process — the shape
+//! of iterative design-space exploration. Passes after the first replay
+//! from the scenario-result cache unless `--no-result-cache` is given;
+//! stdout is byte-identical either way, only the wall clock moves.
 
+use reach::ScenarioExecutor;
 use reach_bench::sweep::SweepArgs;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -23,7 +29,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
                  [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
-                 [--jobs N] [--metrics-dir DIR]"
+                 [--jobs N] [--metrics-dir DIR] [--repeat N] [--no-result-cache]"
             );
             return ExitCode::FAILURE;
         }
@@ -39,11 +45,18 @@ fn main() -> ExitCode {
         if args.sequential { " (sequential)" } else { "" }
     );
     let started = Instant::now();
-    let results = args.run_all();
-    for r in &results {
-        println!();
-        println!("{}", r.label);
-        println!("{}", r.report);
+    // One runner for all passes, so `--repeat` passes share the result
+    // cache. Reports are deterministic, so every pass prints identically
+    // whether it simulated or replayed.
+    let runner = args.runner();
+    let mut results = Vec::new();
+    for _ in 0..args.repeat {
+        results = runner.run_all(args.scenarios());
+        for r in &results {
+            println!();
+            println!("{}", r.label);
+            println!("{}", r.report);
+        }
     }
     if let Some(dir) = &args.metrics_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -59,11 +72,21 @@ fn main() -> ExitCode {
         }
         eprintln!("wrote {} telemetry CSV(s) to {dir}", results.len());
     }
+    let stats = runner.cache_stats();
     eprintln!(
-        "ran {} scenario(s) with {} job(s) in {:.2}s",
+        "ran {} scenario(s) x {} pass(es) with {} job(s) in {:.2}s \
+         (result cache: {} hit(s), {} miss(es){})",
         results.len(),
+        args.repeat,
         args.jobs,
-        started.elapsed().as_secs_f64()
+        started.elapsed().as_secs_f64(),
+        stats.hits,
+        stats.misses,
+        if args.no_result_cache {
+            ", disabled"
+        } else {
+            ""
+        }
     );
     ExitCode::SUCCESS
 }

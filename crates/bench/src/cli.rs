@@ -1,0 +1,151 @@
+//! Argument parsing for the `experiments` binary, kept out of `main` so
+//! the accepted grammar — and in particular its rejections, like
+//! `--jobs 0` — is unit-testable instead of only exercisable by spawning
+//! the binary.
+
+use std::fmt;
+
+/// Parsed `experiments` command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExperimentsArgs {
+    /// Worker threads for each experiment's scenario batch (default 1).
+    pub jobs: usize,
+    /// Telemetry JSON output path (`--metrics PATH`).
+    pub metrics: Option<String>,
+    /// Benchmark-report JSON output path (`--bench-out PATH`).
+    pub bench_out: Option<String>,
+    /// Disable the scenario-result cache (`--no-result-cache`).
+    pub no_result_cache: bool,
+    /// Print the known experiment ids and exit (`--list`).
+    pub list: bool,
+    /// Experiment ids to run (empty means all).
+    pub ids: Vec<String>,
+}
+
+impl Default for ExperimentsArgs {
+    fn default() -> Self {
+        ExperimentsArgs {
+            jobs: 1,
+            metrics: None,
+            bench_out: None,
+            no_result_cache: false,
+            list: false,
+            ids: Vec::new(),
+        }
+    }
+}
+
+/// A parse failure, ready to print to stderr.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+impl ExperimentsArgs {
+    /// Parses the arguments after the program name. Anything that is not a
+    /// recognized flag is collected as an experiment id (validated against
+    /// the renderer table by the binary, which knows the ids).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag when a value is missing
+    /// or out of range — notably `--jobs 0`, which would otherwise panic
+    /// deep inside the runner.
+    pub fn parse(raw: &[String]) -> Result<Self, ParseArgsError> {
+        let mut out = ExperimentsArgs::default();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--jobs" => {
+                    out.jobs = match it.next().map(|v| v.parse::<usize>()) {
+                        Some(Ok(n)) if n >= 1 => n,
+                        _ => {
+                            return Err(ParseArgsError(
+                                "--jobs needs a positive integer (at least 1)".into(),
+                            ))
+                        }
+                    };
+                }
+                "--metrics" => match it.next() {
+                    Some(p) => out.metrics = Some(p.clone()),
+                    None => return Err(ParseArgsError("--metrics needs a file path".into())),
+                },
+                "--bench-out" => match it.next() {
+                    Some(p) => out.bench_out = Some(p.clone()),
+                    None => return Err(ParseArgsError("--bench-out needs a file path".into())),
+                },
+                "--no-result-cache" => out.no_result_cache = true,
+                "--list" => out.list = true,
+                other => out.ids.push(other.to_string()),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<ExperimentsArgs, ParseArgsError> {
+        ExperimentsArgs::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, ExperimentsArgs::default());
+        assert_eq!(a.jobs, 1);
+        assert!(!a.no_result_cache);
+    }
+
+    #[test]
+    fn flags_and_ids() {
+        let a = parse(&[
+            "fig13",
+            "--jobs",
+            "4",
+            "--metrics",
+            "m.json",
+            "--bench-out",
+            "b.json",
+            "--no-result-cache",
+            "table1",
+        ])
+        .unwrap();
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.metrics.as_deref(), Some("m.json"));
+        assert_eq!(a.bench_out.as_deref(), Some("b.json"));
+        assert!(a.no_result_cache);
+        assert_eq!(a.ids, ["fig13", "table1"]);
+    }
+
+    #[test]
+    fn rejects_zero_jobs_with_a_clear_message() {
+        let err = parse(&["--jobs", "0"]).unwrap_err();
+        assert!(
+            err.to_string().contains("--jobs needs a positive integer"),
+            "unhelpful message: {err}"
+        );
+    }
+
+    #[test]
+    fn rejects_missing_or_malformed_values() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs", "-1"]).is_err());
+        assert!(parse(&["--metrics"]).is_err());
+        assert!(parse(&["--bench-out"]).is_err());
+    }
+
+    #[test]
+    fn list_flag_parses() {
+        assert!(parse(&["--list"]).unwrap().list);
+    }
+}

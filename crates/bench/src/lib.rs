@@ -13,10 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod cli;
 pub mod export;
 pub mod runner;
 pub mod sweep;
 
+pub use cache::{CacheStats, ResultCache};
+pub use cli::ExperimentsArgs;
 pub use export::{
     bench_report_json, label_file_stem, run_metrics_json, scenario_metrics_json, BenchEntry,
 };

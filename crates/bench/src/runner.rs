@@ -13,19 +13,52 @@
 //! built and dropped inside the worker that claims the scenario, so only
 //! the scenarios themselves and their finished [`ScenarioResult`]s cross
 //! thread boundaries.
+//!
+//! ## The result cache
+//!
+//! By default every runner carries a shared [`ResultCache`]. Before any
+//! thread spawns, a **sequential** pass over the batch (in submission
+//! order) fingerprints each scenario via `Scenario::config_fingerprint`
+//! and resolves it to one of: replay a stored report, follow an earlier
+//! in-batch duplicate, or actually simulate. Only the simulate subset is
+//! fanned across workers. Because the resolution pass never races, the
+//! hit/miss counters, the cache contents and the returned reports are all
+//! byte-identical at any job count — caching, like parallelism, is never
+//! observable in the output, only in the wall clock. Build with
+//! [`ScenarioRunner::without_cache`] (the `--no-result-cache` flag) to
+//! force every scenario to simulate.
 
-use reach::{MetricsSnapshot, Scenario, ScenarioExecutor, ScenarioResult};
+use crate::cache::{CacheStats, ResultCache};
+use reach::{
+    ConfigFingerprint, MetricsSnapshot, RunReport, Scenario, ScenarioExecutor, ScenarioResult,
+};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// A work-stealing, order-preserving executor over OS threads.
-#[derive(Clone, Copy, Debug)]
+/// How the sequential fingerprint pass resolved one scenario.
+enum Slot {
+    /// No fingerprint (e.g. closure-backed): simulate, don't store.
+    Run,
+    /// First sighting of this fingerprint: simulate and store.
+    Lead(ConfigFingerprint),
+    /// Duplicate of the in-batch leader at this index.
+    Follow(usize),
+    /// Already cached: replay without simulating.
+    Replay(RunReport),
+}
+
+/// A work-stealing, order-preserving executor over OS threads, with a
+/// scenario-result cache in front of the simulator.
+#[derive(Clone, Debug)]
 pub struct ScenarioRunner {
     jobs: usize,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl ScenarioRunner {
-    /// An executor that runs at most `jobs` scenarios concurrently.
+    /// An executor that runs at most `jobs` scenarios concurrently, with
+    /// result caching on. Clones share the same cache.
     ///
     /// # Panics
     ///
@@ -33,7 +66,24 @@ impl ScenarioRunner {
     #[must_use]
     pub fn new(jobs: usize) -> Self {
         assert!(jobs > 0, "ScenarioRunner needs at least one worker");
-        ScenarioRunner { jobs }
+        ScenarioRunner {
+            jobs,
+            cache: Some(Arc::new(ResultCache::new())),
+        }
+    }
+
+    /// An executor with the result cache disabled: every scenario
+    /// simulates, every time. The escape hatch behind `--no-result-cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    #[must_use]
+    pub fn without_cache(jobs: usize) -> Self {
+        ScenarioRunner {
+            cache: None,
+            ..Self::new(jobs)
+        }
     }
 
     /// The configured worker count.
@@ -41,41 +91,129 @@ impl ScenarioRunner {
     pub fn jobs(&self) -> usize {
         self.jobs
     }
+
+    /// Whether a result cache is attached.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Hit/miss counters of the attached cache (all zero when disabled).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_deref()
+            .map(ResultCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Executes the scenarios at `indices` (into `scenarios`), returning
+    /// reports in a vector indexed like `scenarios`. Runs on the calling
+    /// thread below two effective workers, across scoped threads otherwise.
+    fn execute_subset(
+        &self,
+        scenarios: &[Box<dyn Scenario>],
+        indices: &[usize],
+    ) -> Vec<Option<RunReport>> {
+        let workers = self.jobs.min(indices.len());
+        if workers <= 1 {
+            let mut reports: Vec<Option<RunReport>> = (0..scenarios.len()).map(|_| None).collect();
+            for &i in indices {
+                reports[i] = Some(scenarios[i].execute());
+            }
+            return reports;
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<RunReport>>> =
+            Mutex::new((0..scenarios.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= indices.len() {
+                        break;
+                    }
+                    let i = indices[k];
+                    // The machine is instantiated, driven and dropped
+                    // entirely inside this worker.
+                    let report = scenarios[i].execute();
+                    slots.lock().expect("result slots poisoned")[i] = Some(report);
+                });
+            }
+        });
+        slots.into_inner().expect("result slots poisoned")
+    }
 }
 
 impl ScenarioExecutor for ScenarioRunner {
     fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
         let n = scenarios.len();
-        let workers = self.jobs.min(n);
-        if workers <= 1 {
-            // One worker degenerates to the reference implementation.
-            return reach::SequentialExecutor.run_all(scenarios);
+
+        // Phase 1 (sequential, submission order): resolve every scenario
+        // against the cache. Sequencing this phase is what makes the
+        // hit/miss counters and the cache contents independent of `jobs`.
+        let mut slots: Vec<Slot> = Vec::with_capacity(n);
+        match &self.cache {
+            None => slots.extend((0..n).map(|_| Slot::Run)),
+            Some(cache) => {
+                let mut leaders: HashMap<ConfigFingerprint, usize> = HashMap::new();
+                for (i, s) in scenarios.iter().enumerate() {
+                    slots.push(match s.config_fingerprint() {
+                        None => Slot::Run,
+                        Some(fp) => {
+                            if let Some(report) = cache.get(&fp) {
+                                cache.record_hit();
+                                Slot::Replay(report)
+                            } else if let Some(&leader) = leaders.get(&fp) {
+                                cache.record_hit();
+                                Slot::Follow(leader)
+                            } else {
+                                cache.record_miss();
+                                leaders.insert(fp, i);
+                                Slot::Lead(fp)
+                            }
+                        }
+                    });
+                }
+            }
         }
 
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<ScenarioResult>>> = Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // The machine is instantiated, driven and dropped
-                    // entirely inside this worker.
-                    let result = ScenarioResult {
-                        label: scenarios[i].label(),
-                        report: scenarios[i].execute(),
-                    };
-                    slots.lock().expect("result slots poisoned")[i] = Some(result);
-                });
-            }
-        });
+        // Phase 2 (parallel): simulate only what phase 1 could not answer.
+        let to_run: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| matches!(slot, Slot::Run | Slot::Lead(_)))
+            .map(|(i, _)| i)
+            .collect();
+        let mut reports = self.execute_subset(&scenarios, &to_run);
+
+        // Phase 3 (sequential, submission order): assemble results, store
+        // leader reports, clone them for in-batch followers.
         slots
-            .into_inner()
-            .expect("result slots poisoned")
             .into_iter()
-            .map(|r| r.expect("every claimed scenario stores its result"))
+            .enumerate()
+            .map(|(i, slot)| {
+                let report = match slot {
+                    Slot::Run => reports[i].take().expect("executed scenario has a report"),
+                    Slot::Lead(fp) => {
+                        let report = reports[i].clone().expect("executed scenario has a report");
+                        if let Some(cache) = &self.cache {
+                            cache.insert(fp, report.clone());
+                        }
+                        report
+                    }
+                    // Leaders always precede their followers, so the
+                    // leader's slot is still populated (Lead never takes).
+                    Slot::Follow(leader) => reports[leader]
+                        .clone()
+                        .expect("leader precedes its followers"),
+                    Slot::Replay(report) => report,
+                };
+                ScenarioResult {
+                    label: scenarios[i].label(),
+                    report,
+                }
+            })
             .collect()
     }
 }
@@ -232,5 +370,87 @@ mod tests {
         let counting = CountingExecutor::new(&runner);
         let _ = counting.run_all(batch());
         assert_eq!(counting.scenarios_run(), CbirMapping::ALL.len());
+    }
+
+    fn rendered(results: &[reach::ScenarioResult]) -> String {
+        results
+            .iter()
+            .map(|r| format!("{}\n{}", r.label, r.report))
+            .collect()
+    }
+
+    #[test]
+    fn cached_output_is_byte_identical_to_uncached() {
+        let cached = ScenarioRunner::new(4);
+        let warm = rendered(&cached.run_all(batch()));
+        let hot = rendered(&cached.run_all(batch()));
+        let cold = rendered(&ScenarioRunner::without_cache(4).run_all(batch()));
+        assert_eq!(warm, cold);
+        assert_eq!(hot, cold, "replayed reports must render identically");
+        let stats = cached.cache_stats();
+        let n = CbirMapping::ALL.len() as u64;
+        assert_eq!(stats.misses, n, "first pass simulates everything");
+        assert_eq!(stats.hits, n, "second pass replays everything");
+    }
+
+    #[test]
+    fn cache_stats_are_identical_across_job_counts() {
+        let mut per_jobs = Vec::new();
+        for jobs in [1, 4, 8] {
+            let runner = ScenarioRunner::new(jobs);
+            let _ = runner.run_all(batch());
+            let _ = runner.run_all(batch());
+            per_jobs.push(runner.cache_stats());
+        }
+        assert_eq!(per_jobs[0], per_jobs[1]);
+        assert_eq!(per_jobs[1], per_jobs[2]);
+    }
+
+    #[test]
+    fn in_batch_duplicates_simulate_once() {
+        let w = CbirWorkload::paper_setup();
+        let point = || -> Box<dyn Scenario> {
+            Box::new(CbirScenario::full(
+                "dup",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                2,
+            ))
+        };
+        let runner = ScenarioRunner::new(4);
+        let results = runner.run_all(vec![point(), point(), point()]);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].report.to_string(), results[1].report.to_string());
+        assert_eq!(results[0].report.to_string(), results[2].report.to_string());
+        let stats = runner.cache_stats();
+        assert_eq!(stats.misses, 1, "one leader simulates");
+        assert_eq!(stats.hits, 2, "two followers replay");
+    }
+
+    #[test]
+    fn uncacheable_scenarios_bypass_the_cache() {
+        use reach::{FnScenario, MachineBlueprint};
+        let point = || -> Box<dyn Scenario> {
+            Box::new(FnScenario::new(
+                "closure",
+                MachineBlueprint::paper(),
+                |machine| {
+                    let w = CbirWorkload::paper_setup();
+                    CbirPipeline::new(w, CbirMapping::AllOnChip).run(machine, 1)
+                },
+            ))
+        };
+        let runner = ScenarioRunner::new(2);
+        let _ = runner.run_all(vec![point(), point()]);
+        assert_eq!(runner.cache_stats(), crate::cache::CacheStats::default());
+    }
+
+    #[test]
+    fn without_cache_never_counts() {
+        let runner = ScenarioRunner::without_cache(4);
+        let _ = runner.run_all(batch());
+        let _ = runner.run_all(batch());
+        assert!(!runner.cache_enabled());
+        assert_eq!(runner.cache_stats(), crate::cache::CacheStats::default());
     }
 }

@@ -32,6 +32,11 @@ pub struct SweepArgs {
     pub jobs: usize,
     /// Directory to drop one per-point telemetry CSV into, if set.
     pub metrics_dir: Option<String>,
+    /// Times to run the whole grid (models iterative design-space
+    /// exploration; passes after the first hit the result cache).
+    pub repeat: usize,
+    /// Disable the scenario-result cache.
+    pub no_result_cache: bool,
 }
 
 impl Default for SweepArgs {
@@ -46,6 +51,8 @@ impl Default for SweepArgs {
             sequential: false,
             jobs: 1,
             metrics_dir: None,
+            repeat: 1,
+            no_result_cache: false,
         }
     }
 }
@@ -68,12 +75,14 @@ impl SweepArgs {
     /// Accepted keys: `--nm`, `--ns` (both accept comma-separated lists),
     /// `--batches`, `--batch-size`, `--candidates`,
     /// `--mapping onchip|near-mem|near-stor|proper`, `--sequential`,
-    /// `--jobs`, `--metrics-dir DIR` (one telemetry CSV per grid point).
+    /// `--jobs`, `--metrics-dir DIR` (one telemetry CSV per grid point),
+    /// `--repeat N` (run the grid N times; later passes hit the result
+    /// cache) and `--no-result-cache`.
     ///
     /// # Errors
     ///
-    /// Returns the offending token on unknown keys, missing values or
-    /// unparsable numbers.
+    /// Returns a message naming the offending flag on unknown keys,
+    /// missing values, unparsable numbers or zero counts.
     pub fn parse(args: &[String]) -> Result<Self, ParseSweepError> {
         let mut out = SweepArgs::default();
         let mut it = args.iter();
@@ -100,8 +109,10 @@ impl SweepArgs {
                     out.candidates = take_usize(take("--candidates")?, "--candidates")?;
                 }
                 "--jobs" => out.jobs = take_usize(take("--jobs")?, "--jobs")?,
+                "--repeat" => out.repeat = take_usize(take("--repeat")?, "--repeat")?,
                 "--metrics-dir" => out.metrics_dir = Some(take("--metrics-dir")?.clone()),
                 "--sequential" => out.sequential = true,
+                "--no-result-cache" => out.no_result_cache = true,
                 "--mapping" => {
                     let v = take("--mapping")?;
                     out.mapping = match v.as_str() {
@@ -115,15 +126,27 @@ impl SweepArgs {
                 other => return Err(ParseSweepError(format!("unknown flag '{other}'"))),
             }
         }
-        if out.nm.is_empty()
-            || out.ns.is_empty()
-            || out.nm.contains(&0)
-            || out.ns.contains(&0)
-            || out.batches == 0
-            || out.batch_size == 0
-            || out.jobs == 0
-        {
-            return Err(ParseSweepError("counts must be positive".into()));
+        if out.nm.is_empty() || out.nm.contains(&0) {
+            return Err(ParseSweepError(
+                "--nm needs positive accelerator counts".into(),
+            ));
+        }
+        if out.ns.is_empty() || out.ns.contains(&0) {
+            return Err(ParseSweepError("--ns needs positive unit counts".into()));
+        }
+        if out.batches == 0 {
+            return Err(ParseSweepError("--batches must be positive".into()));
+        }
+        if out.batch_size == 0 {
+            return Err(ParseSweepError("--batch-size must be positive".into()));
+        }
+        if out.jobs == 0 {
+            return Err(ParseSweepError(
+                "--jobs must be positive (use 1 for sequential)".into(),
+            ));
+        }
+        if out.repeat == 0 {
+            return Err(ParseSweepError("--repeat must be positive".into()));
         }
         Ok(out)
     }
@@ -150,10 +173,23 @@ impl SweepArgs {
         points
     }
 
-    /// Runs the whole grid across `jobs` workers.
+    /// The runner these arguments select: `jobs` workers, result cache on
+    /// unless `--no-result-cache` was given.
+    #[must_use]
+    pub fn runner(&self) -> ScenarioRunner {
+        if self.no_result_cache {
+            ScenarioRunner::without_cache(self.jobs)
+        } else {
+            ScenarioRunner::new(self.jobs)
+        }
+    }
+
+    /// Runs the whole grid once across `jobs` workers. (The `sweep` binary
+    /// drives `--repeat` itself so every pass shares one runner — and
+    /// therefore one result cache.)
     #[must_use]
     pub fn run_all(&self) -> Vec<ScenarioResult> {
-        ScenarioRunner::new(self.jobs).run_all(self.scenarios())
+        self.runner().run_all(self.scenarios())
     }
 }
 
@@ -200,6 +236,42 @@ mod tests {
         assert!(parse(&["--mapping", "sideways"]).is_err());
         assert!(parse(&["--batches", "0"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--repeat", "0"]).is_err());
+    }
+
+    #[test]
+    fn zero_counts_name_the_offending_flag() {
+        let jobs = parse(&["--jobs", "0"]).unwrap_err().to_string();
+        assert!(jobs.contains("--jobs must be positive"), "got: {jobs}");
+        let batches = parse(&["--batches", "0"]).unwrap_err().to_string();
+        assert!(
+            batches.contains("--batches must be positive"),
+            "got: {batches}"
+        );
+        let nm = parse(&["--nm", "0,4"]).unwrap_err().to_string();
+        assert!(nm.contains("--nm"), "got: {nm}");
+    }
+
+    #[test]
+    fn parses_cache_and_repeat_flags() {
+        let a = parse(&["--repeat", "3", "--no-result-cache"]).unwrap();
+        assert_eq!(a.repeat, 3);
+        assert!(a.no_result_cache);
+        assert!(!a.runner().cache_enabled());
+        assert!(parse(&[]).unwrap().runner().cache_enabled());
+    }
+
+    #[test]
+    fn cached_grid_matches_uncached() {
+        let args = parse(&["--nm", "2,4", "--ns", "2", "--batches", "2", "--jobs", "2"]).unwrap();
+        let mut uncached = args.clone();
+        uncached.no_result_cache = true;
+        let render = |rs: &[ScenarioResult]| -> String {
+            rs.iter()
+                .map(|r| format!("{}\n{}", r.label, r.report))
+                .collect()
+        };
+        assert_eq!(render(&args.run_all()), render(&uncached.run_all()));
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use crate::workload::CbirWorkload;
 use reach::api::Acc;
 use reach::{
-    Arg, ExecMode, Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, TaskWork,
+    Arg, ExecMode, Level, Machine, Pipeline, ReachConfig, RunReport, StreamType, SystemConfig,
+    TaskWork, TemplateRegistry,
 };
 
 /// Binds the present arguments to consecutive slots starting at 0. Stage
@@ -151,9 +152,8 @@ impl CbirPipeline {
         self.mapping
     }
 
-    /// Number of accelerator instances `machine` offers at `level`.
-    fn instances(machine: &Machine, level: Level) -> usize {
-        let cfg = machine.config();
+    /// Number of accelerator instances `cfg` offers at `level`.
+    fn instances(cfg: &SystemConfig, level: Level) -> usize {
         match level {
             Level::OnChip | Level::Cpu => cfg.onchip_accelerators,
             Level::NearMem => cfg.near_memory_accelerators,
@@ -175,6 +175,25 @@ impl CbirPipeline {
     /// Panics if `stages` is empty or a required level has no instances.
     #[must_use]
     pub fn build_stages(&self, machine: &Machine, stages: &[CbirStage]) -> Pipeline {
+        self.compile(machine.config(), machine.registry(), stages)
+    }
+
+    /// Compiles a pipeline against a machine *shape* rather than a live
+    /// machine — the same result [`Self::build_stages`] produces for a
+    /// machine instantiated from that shape. This is what lets a
+    /// [`crate::CbirScenario`] fingerprint its exact workload without
+    /// paying for a machine instantiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or a required level has no instances.
+    #[must_use]
+    pub fn compile(
+        &self,
+        sys: &SystemConfig,
+        registry: &TemplateRegistry,
+        stages: &[CbirStage],
+    ) -> Pipeline {
         assert!(!stages.is_empty(), "CbirPipeline: no stages selected");
         let w = &self.workload;
         let mut cfg = ReachConfig::new();
@@ -250,7 +269,7 @@ impl CbirPipeline {
         let mut pipeline_calls: Vec<(reach::api::Acc, TaskWork, CbirStage)> = Vec::new();
 
         if has(CbirStage::FeatureExtraction) {
-            let n = Self::instances(machine, fe_level);
+            let n = Self::instances(sys, fe_level);
             assert!(n > 0, "no accelerators at {fe_level}");
             let template = template_for(CbirStage::FeatureExtraction, fe_level);
             if fe_level == Level::OnChip {
@@ -300,7 +319,7 @@ impl CbirPipeline {
         }
 
         if has(CbirStage::ShortList) {
-            let n = Self::instances(machine, sl_level);
+            let n = Self::instances(sys, sl_level);
             assert!(n > 0, "no accelerators at {sl_level}");
             let template = template_for(CbirStage::ShortList, sl_level);
             if sl_level == Level::OnChip {
@@ -349,7 +368,7 @@ impl CbirPipeline {
         }
 
         if has(CbirStage::Rerank) {
-            let n = Self::instances(machine, rr_level);
+            let n = Self::instances(sys, rr_level);
             assert!(n > 0, "no accelerators at {rr_level}");
             let template = template_for(CbirStage::Rerank, rr_level);
             let shards = if rr_level == Level::OnChip {
@@ -382,7 +401,7 @@ impl CbirPipeline {
         }
 
         let mut pipeline = Pipeline::new(
-            cfg.build_with(machine.registry())
+            cfg.build_with(registry)
                 .expect("CBIR mapping produced an invalid configuration"),
         );
         for (acc, work, stage) in pipeline_calls {

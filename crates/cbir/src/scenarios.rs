@@ -9,7 +9,9 @@
 //! contract produces byte-identical results.
 
 use crate::pipeline::{CbirPipeline, CbirStage};
+use reach::fingerprint::ConfigFingerprint;
 use reach::{ExecMode, Machine, MachineBlueprint, RunReport, Scenario, SystemConfig};
+use reach_sim::FingerprintBuilder;
 
 /// Blueprint for `mapping`-style runs with the given number of
 /// near-memory / near-storage instances (the paper's Table II shape
@@ -107,6 +109,29 @@ impl Scenario for CbirScenario {
         };
         compiled.run_mode(machine, self.batches, self.mode)
     }
+
+    /// A CBIR point is fully described by its blueprint, the pipeline it
+    /// compiles for that shape, the batch count, the mode and the seed —
+    /// exactly what `run` consumes — so it is always cacheable. The label
+    /// is deliberately excluded: two points with different labels but the
+    /// same configuration produce byte-identical reports, and the sweep
+    /// result cache exists to exploit that.
+    fn config_fingerprint(&self) -> Option<ConfigFingerprint> {
+        let stages: &[CbirStage] = match &self.stage {
+            Some(stage) => std::slice::from_ref(stage),
+            None => &CbirStage::ALL,
+        };
+        let compiled =
+            self.pipeline
+                .compile(self.blueprint.config(), self.blueprint.registry(), stages);
+        let mut b = FingerprintBuilder::new("reach-cbir-scenario-v1");
+        self.blueprint.fingerprint().write_into(&mut b);
+        compiled.fingerprint().write_into(&mut b);
+        b.write_usize(self.batches);
+        b.write_debug(&self.mode);
+        b.write_u64(self.seed());
+        Some(ConfigFingerprint::from_builder(b))
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +173,101 @@ mod tests {
         assert_eq!(results[0].label, "onchip/sync");
         assert_eq!(results[1].label, "nm/fe");
         assert_eq!(results[1].report.stages.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_ignores_the_label() {
+        let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
+        let a = CbirScenario::full("fig13/ReACH", blueprint_with(4, 4), p, 8);
+        let b = CbirScenario::full("ablation/baseline", blueprint_with(4, 4), p, 8);
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        assert!(a.config_fingerprint().is_some());
+    }
+
+    /// Flipping any scenario knob — machine shape, mapping, workload,
+    /// batches, mode, stage subset — must change the fingerprint; a missed
+    /// knob would alias two different simulations in the result cache.
+    #[test]
+    fn fingerprint_tracks_every_scenario_knob() {
+        let w = CbirWorkload::paper_setup();
+        let base = CbirScenario::full(
+            "x",
+            blueprint_with(4, 4),
+            CbirPipeline::new(w, CbirMapping::Proper),
+            8,
+        );
+        let mut narrower_batch = w;
+        narrower_batch.batch = 8;
+        let mut fewer_candidates = w;
+        fewer_candidates.candidates_per_query = 1024;
+        let variants: Vec<CbirScenario> = vec![
+            CbirScenario::full(
+                "x",
+                blueprint_with(8, 4),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                8,
+            ),
+            CbirScenario::full(
+                "x",
+                blueprint_with(4, 8),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                8,
+            ),
+            CbirScenario::full(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::AllOnChip),
+                8,
+            ),
+            CbirScenario::full(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(narrower_batch, CbirMapping::Proper),
+                8,
+            ),
+            CbirScenario::full(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(fewer_candidates, CbirMapping::Proper),
+                8,
+            ),
+            CbirScenario::full(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                4,
+            ),
+            CbirScenario::synchronous(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                8,
+            ),
+            CbirScenario::stage(
+                "x",
+                blueprint_with(4, 4),
+                CbirPipeline::new(w, CbirMapping::Proper),
+                CbirStage::Rerank,
+                8,
+            ),
+        ];
+        let mut seen = vec![base.config_fingerprint().unwrap()];
+        for (i, v) in variants.iter().enumerate() {
+            let fp = v.config_fingerprint().unwrap();
+            assert!(
+                !seen.contains(&fp),
+                "variant {i} did not change the fingerprint"
+            );
+            seen.push(fp);
+        }
+    }
+
+    #[test]
+    fn equal_fingerprints_mean_byte_identical_reports() {
+        let p = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::AllNearStorage);
+        let a = CbirScenario::full("first", blueprint_with(2, 2), p, 2);
+        let b = CbirScenario::full("second", blueprint_with(2, 2), p, 2);
+        assert_eq!(a.config_fingerprint(), b.config_fingerprint());
+        assert_eq!(a.execute().to_string(), b.execute().to_string());
     }
 }

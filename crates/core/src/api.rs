@@ -50,12 +50,13 @@
 //! assert_eq!(report.jobs, 2);
 //! ```
 
+use crate::fingerprint::ConfigFingerprint;
 use crate::machine::Machine;
 use crate::report::RunReport;
 use crate::work::TaskWork;
 use reach_accel::{ComputeLevel, KernelSpec, TemplateRegistry};
 use reach_gam::{JobBuilder, TaskId};
-use reach_sim::SimDuration;
+use reach_sim::{FingerprintBuilder, SimDuration};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -402,6 +403,37 @@ impl ReachConfig {
         self.accs.len()
     }
 
+    /// Writes a canonical encoding of the configuration — every buffer,
+    /// stream (endpoints, pattern, size, depth), registration and binding
+    /// — into `b`. Shared by the [`ValidatedConfig`] and [`Pipeline`]
+    /// fingerprints.
+    pub(crate) fn fingerprint_into(&self, b: &mut FingerprintBuilder) {
+        b.write_usize(self.buffers.len());
+        for buf in &self.buffers {
+            b.write_str(&buf.name);
+            b.write_debug(&buf.level);
+            b.write_u64(buf.bytes);
+        }
+        b.write_usize(self.streams.len());
+        for s in &self.streams {
+            b.write_debug(&s.src);
+            b.write_debug(&s.dst);
+            b.write_debug(&s.ty);
+            b.write_u64(s.bytes);
+            b.write_usize(s.depth);
+        }
+        b.write_usize(self.accs.len());
+        for acc in &self.accs {
+            b.write_str(&acc.template);
+            b.write_debug(&acc.level);
+            b.write_usize(acc.args.len());
+            for (slot, arg) in &acc.args {
+                b.write_usize(slot.index());
+                b.write_debug(arg);
+            }
+        }
+    }
+
     /// Validates the configuration against the paper's Table III template
     /// registry. See [`Self::build_with`].
     ///
@@ -514,6 +546,25 @@ impl ValidatedConfig {
     pub fn kernels(&self) -> &[KernelSpec] {
         &self.kernels
     }
+
+    /// Canonical digest of the validated configuration: the full
+    /// [`ReachConfig`] wiring plus every resolved [`KernelSpec`] (so a
+    /// registry change that resolves the same template name to different
+    /// timing changes the digest too).
+    #[must_use]
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        let mut b = FingerprintBuilder::new("reach-validated-config-v1");
+        self.fingerprint_into(&mut b);
+        ConfigFingerprint::from_builder(b)
+    }
+
+    pub(crate) fn fingerprint_into(&self, b: &mut FingerprintBuilder) {
+        self.config.fingerprint_into(b);
+        b.write_usize(self.kernels.len());
+        for k in &self.kernels {
+            b.write_debug(k);
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -572,6 +623,27 @@ impl Pipeline {
     #[must_use]
     pub fn config(&self) -> &ReachConfig {
         &self.config
+    }
+
+    /// Canonical digest of everything the pipeline will submit: the
+    /// validated configuration (wiring + resolved kernels) and the
+    /// recorded call sequence (callee, [`TaskWork`], stage label). Equal
+    /// fingerprints build identical jobs batch for batch.
+    #[must_use]
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        let mut b = FingerprintBuilder::new("reach-pipeline-v1");
+        self.config.fingerprint_into(&mut b);
+        b.write_usize(self.kernels.len());
+        for k in &self.kernels {
+            b.write_debug(k);
+        }
+        b.write_usize(self.calls.len());
+        for call in &self.calls {
+            b.write_usize(call.acc.0);
+            b.write_debug(&call.work);
+            b.write_str(&call.stage);
+        }
+        ConfigFingerprint::from_builder(b)
     }
 
     /// Runs `batches` batches through `machine` in the given [`ExecMode`]

@@ -9,9 +9,11 @@
 //! it) is shared read-only.
 
 use crate::config::SystemConfig;
+use crate::fingerprint::ConfigFingerprint;
 use crate::machine::Machine;
 use reach_accel::TemplateRegistry;
 use reach_energy::EnergyPresets;
+use reach_sim::FingerprintBuilder;
 use std::sync::Arc;
 
 /// An immutable recipe for building [`Machine`]s.
@@ -114,6 +116,23 @@ impl MachineBlueprint {
     #[must_use]
     pub fn instantiate(&self) -> Machine {
         Machine::assemble(self.cfg.clone(), Arc::clone(&self.registry), self.presets)
+    }
+
+    /// Canonical digest of the machine recipe: every [`SystemConfig`] knob
+    /// (including nested component configs), the full template registry
+    /// and the energy presets. Two blueprints with equal fingerprints
+    /// instantiate machines that simulate identically.
+    ///
+    /// The three parts are plain-data structs with derived `Debug`, so the
+    /// digest covers every field they have — including ones added after
+    /// this method was written.
+    #[must_use]
+    pub fn fingerprint(&self) -> ConfigFingerprint {
+        let mut b = FingerprintBuilder::new("reach-blueprint-v1");
+        b.write_debug(&self.cfg);
+        b.write_debug(&*self.registry);
+        b.write_debug(&self.presets);
+        ConfigFingerprint::from_builder(b)
     }
 }
 

@@ -60,6 +60,7 @@
 pub mod api;
 pub mod blueprint;
 pub mod config;
+pub mod fingerprint;
 pub mod host;
 pub mod machine;
 pub mod report;
@@ -73,6 +74,7 @@ pub use api::{
 };
 pub use blueprint::MachineBlueprint;
 pub use config::SystemConfig;
+pub use fingerprint::ConfigFingerprint;
 pub use host::{ArrivalProcess, Batcher};
 pub use machine::Machine;
 pub use report::{RunReport, StageSummary};

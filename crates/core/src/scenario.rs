@@ -11,6 +11,7 @@
 //! execution order.
 
 use crate::blueprint::MachineBlueprint;
+use crate::fingerprint::ConfigFingerprint;
 use crate::machine::Machine;
 use crate::report::RunReport;
 
@@ -40,6 +41,20 @@ pub trait Scenario: Send + Sync {
     fn execute(&self) -> RunReport {
         let mut machine = self.blueprint().instantiate();
         self.run(&mut machine)
+    }
+
+    /// A canonical digest of *everything* that determines this scenario's
+    /// [`RunReport`] — machine blueprint, compiled pipeline, batch count,
+    /// execution mode, seed — or `None` if the scenario cannot fully
+    /// describe itself (e.g. a closure-backed [`FnScenario`]).
+    ///
+    /// The contract a `Some` return signs up for: two scenarios with equal
+    /// fingerprints produce byte-identical reports, so executors may run
+    /// one and replay the report for the other. Return `None` unless every
+    /// input to `run` is covered; an under-keyed fingerprint silently
+    /// poisons any result cache built on it.
+    fn config_fingerprint(&self) -> Option<ConfigFingerprint> {
+        None
     }
 }
 

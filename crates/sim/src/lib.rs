@@ -39,6 +39,7 @@
 
 pub mod calendar;
 pub mod event;
+pub mod fingerprint;
 pub mod intern;
 pub mod metrics;
 pub mod rate;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use intern::Symbol;
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot, OccupancyId,

@@ -112,6 +112,38 @@ fn full_suite_stdout_is_byte_identical_at_jobs_1_4_8() {
     }
 }
 
+#[test]
+fn full_suite_stdout_is_byte_identical_with_and_without_result_cache() {
+    // The result-cache contract, end to end: replaying stored reports —
+    // across figures sharing configurations, and across whole repeated
+    // passes — must be unobservable in stdout at any job count, and the
+    // hit/miss accounting must not depend on worker scheduling either.
+    let reference = full_suite_stdout(&ScenarioRunner::without_cache(4));
+    assert!(!reference.is_empty());
+    let mut stats = Vec::new();
+    for jobs in [1, 4, 8] {
+        let cached = ScenarioRunner::new(jobs);
+        let cold = full_suite_stdout(&cached);
+        assert_eq!(
+            reference, cold,
+            "cache-on cold pass diverged at {jobs} jobs"
+        );
+        let warm = full_suite_stdout(&cached);
+        assert_eq!(reference, warm, "cache replay diverged at {jobs} jobs");
+        stats.push(cached.cache_stats());
+    }
+    assert_eq!(stats[0], stats[1], "hit/miss counts depend on job count");
+    assert_eq!(stats[1], stats[2], "hit/miss counts depend on job count");
+    assert!(stats[0].misses > 0, "first pass must simulate");
+    assert!(
+        stats[0].hits > stats[0].misses,
+        "the warm pass plus in-suite repeats should replay more than they simulate \
+         (got {} hits / {} misses)",
+        stats[0].hits,
+        stats[0].misses
+    );
+}
+
 mod kernel_chunking {
     //! Parallel kernels must be *bit-for-bit* equal to their sequential
     //! form at any worker count — the engine-level determinism contract
