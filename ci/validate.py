@@ -7,6 +7,7 @@ same validations run locally:
     ci/validate.py metrics metrics.json          # reach-run-metrics-v1
     ci/validate.py bench BENCH_PR2.json BENCH_PR5.json ...
     ci/validate.py golden tests/golden/fingerprints.txt
+    ci/validate.py fleet fleet_j1.out fleet_j4.out ...  # determinism captures
     ci/validate.py selftest                      # the validators' own tests
 
 Exit status is non-zero on the first failed check, with the offending file
@@ -26,6 +27,10 @@ SPEEDUP_BARS = {
 }
 
 FINGERPRINT_LINE = re.compile(r"^([0-9a-f]{32}|-{32})  \S.*$")
+
+FLEET_HEADER = "EXTENSION. FLEET SCATTER-GATHER"
+FLEET_SWEEP = (1, 2, 4, 8, 16)
+FLEET_PLACEMENTS = ("near-memory", "near-storage")
 
 
 class ValidationError(Exception):
@@ -96,6 +101,34 @@ def validate_golden_fingerprints(text):
     return f"{len(lines)} fingerprint row(s), {opted_out} uncacheable"
 
 
+def validate_fleet(captures):
+    """Fleet-determinism captures: `experiments extension-fleet` stdout
+    recorded at different --jobs levels and cache modes. All captures must
+    be byte-identical and the reference must contain the full sweep (every
+    placement x every shard count)."""
+    require(len(captures) >= 2,
+            f"need at least two captures to compare, got {len(captures)}")
+    (ref_name, reference) = captures[0]
+    for name, text in captures[1:]:
+        require(text == reference,
+                f"{name} differs from {ref_name} — fleet determinism broke")
+    require(FLEET_HEADER in reference, "missing the fleet suite header")
+    for placement in FLEET_PLACEMENTS:
+        for n in FLEET_SWEEP:
+            require(re.search(rf"{placement} x{n}\s+makespan", reference),
+                    f"missing sweep row {placement} x{n}")
+    rows = len(FLEET_PLACEMENTS) * len(FLEET_SWEEP)
+    return f"{len(captures)} identical capture(s), {rows} sweep rows"
+
+
+def check_fleet(paths):
+    captures = []
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            captures.append((path, f.read()))
+    print(f"fleet ok: {validate_fleet(captures)}")
+
+
 def check_file(kind, path):
     if kind == "golden":
         with open(path, encoding="utf-8") as f:
@@ -132,6 +165,12 @@ def selftest():
     )
     validate_golden_fingerprints(good_golden)
 
+    good_fleet = FLEET_HEADER + "\n" + "\n".join(
+        f"  {placement} x{n}  makespan 1.000ms"
+        for placement in FLEET_PLACEMENTS for n in FLEET_SWEEP
+    )
+    validate_fleet([("j1", good_fleet), ("j4", good_fleet), ("j8", good_fleet)])
+
     def rejects(fn, arg, why):
         try:
             fn(arg)
@@ -165,11 +204,23 @@ def selftest():
             "\n".join(["-" * 32 + f"  closure/{i}" for i in range(120)]),
             "everything uncacheable")
 
+    rejects(validate_fleet,
+            [("j1", good_fleet), ("j4", good_fleet + " drifted")],
+            "non-identical fleet captures")
+    rejects(validate_fleet, [("j1", good_fleet)], "a single capture")
+    truncated = "\n".join(good_fleet.splitlines()[:-1])
+    rejects(validate_fleet,
+            [("j1", truncated), ("j4", truncated)],
+            "a capture missing the x16 sweep row")
+    rejects(validate_fleet,
+            [("j1", "no header"), ("j4", "no header")],
+            "a capture without the fleet header")
+
     print("selftest ok: all validators accept good and reject bad inputs")
 
 
 def main(argv):
-    if len(argv) < 2 or argv[1] not in ("metrics", "bench", "golden", "selftest"):
+    if len(argv) < 2 or argv[1] not in ("metrics", "bench", "golden", "fleet", "selftest"):
         print(__doc__, file=sys.stderr)
         return 2
     kind = argv[1]
@@ -180,6 +231,13 @@ def main(argv):
     if not paths:
         print(f"{kind}: no files given", file=sys.stderr)
         return 2
+    if kind == "fleet":
+        try:
+            check_fleet(paths)
+        except (ValidationError, OSError) as e:
+            print(f"fleet: {e}", file=sys.stderr)
+            return 1
+        return 0
     for path in paths:
         try:
             check_file(kind, path)

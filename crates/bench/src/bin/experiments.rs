@@ -15,7 +15,8 @@
 //!
 //! A scenario-result cache replays reports for repeated configurations
 //! (several figures and ablations share points); `--no-result-cache`
-//! disables it. Stdout is byte-identical either way.
+//! disables it and `--result-cache-policy fifo|lru` picks the eviction
+//! policy (default fifo). Stdout is byte-identical either way.
 //!
 //! `--metrics PATH` writes every executed scenario's machine telemetry
 //! (queue depths, occupancy, link traffic) as `reach-run-metrics-v1` JSON;
@@ -90,7 +91,7 @@ fn main() -> ExitCode {
     let runner = if parsed.no_result_cache {
         ScenarioRunner::without_cache(jobs)
     } else {
-        ScenarioRunner::new(jobs)
+        ScenarioRunner::with_cache_policy(jobs, parsed.result_cache_policy)
     };
     let recording = RecordingExecutor::new(&runner);
     let executor = CountingExecutor::new(&recording);

@@ -29,7 +29,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
                  [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
-                 [--jobs N] [--metrics-dir DIR] [--repeat N] [--no-result-cache]"
+                 [--jobs N] [--metrics-dir DIR] [--repeat N] [--no-result-cache] \
+                 [--result-cache-policy fifo|lru]"
             );
             return ExitCode::FAILURE;
         }

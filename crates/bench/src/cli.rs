@@ -3,6 +3,7 @@
 //! `--jobs 0` — is unit-testable instead of only exercisable by spawning
 //! the binary.
 
+use crate::cache::EvictionPolicy;
 use std::fmt;
 
 /// Parsed `experiments` command line.
@@ -16,6 +17,8 @@ pub struct ExperimentsArgs {
     pub bench_out: Option<String>,
     /// Disable the scenario-result cache (`--no-result-cache`).
     pub no_result_cache: bool,
+    /// Result-cache eviction policy (`--result-cache-policy fifo|lru`).
+    pub result_cache_policy: EvictionPolicy,
     /// Print the known experiment ids and exit (`--list`).
     pub list: bool,
     /// Experiment ids to run (empty means all).
@@ -29,6 +32,7 @@ impl Default for ExperimentsArgs {
             metrics: None,
             bench_out: None,
             no_result_cache: false,
+            result_cache_policy: EvictionPolicy::Fifo,
             list: false,
             ids: Vec::new(),
         }
@@ -81,6 +85,16 @@ impl ExperimentsArgs {
                     None => return Err(ParseArgsError("--bench-out needs a file path".into())),
                 },
                 "--no-result-cache" => out.no_result_cache = true,
+                "--result-cache-policy" => {
+                    out.result_cache_policy = match it.next().map(|v| EvictionPolicy::parse(v)) {
+                        Some(Some(p)) => p,
+                        _ => {
+                            return Err(ParseArgsError(
+                                "--result-cache-policy needs 'fifo' or 'lru'".into(),
+                            ))
+                        }
+                    };
+                }
                 "--list" => out.list = true,
                 other => out.ids.push(other.to_string()),
             }
@@ -147,5 +161,35 @@ mod tests {
     #[test]
     fn list_flag_parses() {
         assert!(parse(&["--list"]).unwrap().list);
+    }
+
+    #[test]
+    fn cache_policy_parses_and_defaults_to_fifo() {
+        assert_eq!(
+            parse(&[]).unwrap().result_cache_policy,
+            EvictionPolicy::Fifo
+        );
+        assert_eq!(
+            parse(&["--result-cache-policy", "lru"])
+                .unwrap()
+                .result_cache_policy,
+            EvictionPolicy::Lru
+        );
+        assert_eq!(
+            parse(&["--result-cache-policy", "fifo"])
+                .unwrap()
+                .result_cache_policy,
+            EvictionPolicy::Fifo
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_cache_policy() {
+        let err = parse(&["--result-cache-policy", "random"]).unwrap_err();
+        assert!(
+            err.to_string().contains("'fifo' or 'lru'"),
+            "unhelpful message: {err}"
+        );
+        assert!(parse(&["--result-cache-policy"]).is_err());
     }
 }

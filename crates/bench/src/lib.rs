@@ -19,7 +19,7 @@ pub mod export;
 pub mod runner;
 pub mod sweep;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, EvictionPolicy, ResultCache};
 pub use cli::ExperimentsArgs;
 pub use export::{
     bench_report_json, label_file_stem, run_metrics_json, scenario_metrics_json, BenchEntry,
@@ -431,6 +431,28 @@ pub fn render_extension_corun(executor: &dyn ScenarioExecutor) -> String {
     s
 }
 
+/// Renders the fleet scatter-gather extension experiment: the CBIR dataset
+/// sharded across N machines per placement level, queries scattered from an
+/// aggregator and per-shard partial top-K gathered back over the
+/// inter-machine link.
+#[must_use]
+pub fn render_extension_fleet(executor: &dyn ScenarioExecutor) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXTENSION. FLEET SCATTER-GATHER (N dataset shards, partial top-K merged at the aggregator)"
+    );
+    for r in reach_cbir::fleet::fleet_scatter_gather_with(executor) {
+        let _ = writeln!(s, "  {r}");
+    }
+    let _ = writeln!(
+        s,
+        "  -> sharding divides the centroid store and rerank volume per machine;\n\
+         \x20    the rack link and the serial merge set the floor."
+    );
+    s
+}
+
 /// A named experiment renderer. Every renderer drives its simulations
 /// through the given executor, so the whole suite parallelizes with one
 /// [`ScenarioRunner`] — with output byte-identical to sequential.
@@ -464,6 +486,9 @@ pub fn renderers() -> Vec<Renderer> {
         ("extension-recall", render_extension_recall),
         ("extension-analytics", render_extension_analytics),
         ("extension-corun", render_extension_corun),
+        // Appended last: the golden stdout/fingerprint files are append-only,
+        // so new experiments must not reorder existing output.
+        ("extension-fleet", render_extension_fleet),
     ]
 }
 

@@ -6,6 +6,7 @@
 //! `--jobs` threads by the [`ScenarioRunner`]. Results come back in grid
 //! order regardless of the job count.
 
+use crate::cache::EvictionPolicy;
 use crate::runner::ScenarioRunner;
 use reach::{Scenario, ScenarioExecutor, ScenarioResult};
 use reach_cbir::{blueprint_with, CbirMapping, CbirPipeline, CbirScenario, CbirWorkload};
@@ -37,6 +38,8 @@ pub struct SweepArgs {
     pub repeat: usize,
     /// Disable the scenario-result cache.
     pub no_result_cache: bool,
+    /// Result-cache eviction policy (`--result-cache-policy fifo|lru`).
+    pub result_cache_policy: EvictionPolicy,
 }
 
 impl Default for SweepArgs {
@@ -53,6 +56,7 @@ impl Default for SweepArgs {
             metrics_dir: None,
             repeat: 1,
             no_result_cache: false,
+            result_cache_policy: EvictionPolicy::Fifo,
         }
     }
 }
@@ -77,7 +81,7 @@ impl SweepArgs {
     /// `--mapping onchip|near-mem|near-stor|proper`, `--sequential`,
     /// `--jobs`, `--metrics-dir DIR` (one telemetry CSV per grid point),
     /// `--repeat N` (run the grid N times; later passes hit the result
-    /// cache) and `--no-result-cache`.
+    /// cache), `--no-result-cache` and `--result-cache-policy fifo|lru`.
     ///
     /// # Errors
     ///
@@ -113,6 +117,14 @@ impl SweepArgs {
                 "--metrics-dir" => out.metrics_dir = Some(take("--metrics-dir")?.clone()),
                 "--sequential" => out.sequential = true,
                 "--no-result-cache" => out.no_result_cache = true,
+                "--result-cache-policy" => {
+                    let v = take("--result-cache-policy")?;
+                    out.result_cache_policy = EvictionPolicy::parse(v).ok_or_else(|| {
+                        ParseSweepError(format!(
+                            "--result-cache-policy needs 'fifo' or 'lru', got '{v}'"
+                        ))
+                    })?;
+                }
                 "--mapping" => {
                     let v = take("--mapping")?;
                     out.mapping = match v.as_str() {
@@ -174,13 +186,14 @@ impl SweepArgs {
     }
 
     /// The runner these arguments select: `jobs` workers, result cache on
-    /// unless `--no-result-cache` was given.
+    /// (with the chosen eviction policy) unless `--no-result-cache` was
+    /// given.
     #[must_use]
     pub fn runner(&self) -> ScenarioRunner {
         if self.no_result_cache {
             ScenarioRunner::without_cache(self.jobs)
         } else {
-            ScenarioRunner::new(self.jobs)
+            ScenarioRunner::with_cache_policy(self.jobs, self.result_cache_policy)
         }
     }
 
@@ -259,6 +272,20 @@ mod tests {
         assert!(a.no_result_cache);
         assert!(!a.runner().cache_enabled());
         assert!(parse(&[]).unwrap().runner().cache_enabled());
+    }
+
+    #[test]
+    fn parses_cache_policy() {
+        assert_eq!(
+            parse(&[]).unwrap().result_cache_policy,
+            EvictionPolicy::Fifo
+        );
+        let a = parse(&["--result-cache-policy", "lru"]).unwrap();
+        assert_eq!(a.result_cache_policy, EvictionPolicy::Lru);
+        assert!(a.runner().cache_enabled());
+        let err = parse(&["--result-cache-policy", "mru"]).unwrap_err();
+        assert!(err.to_string().contains("'fifo' or 'lru'"), "got: {err}");
+        assert!(parse(&["--result-cache-policy"]).is_err());
     }
 
     #[test]

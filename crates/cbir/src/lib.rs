@@ -29,6 +29,7 @@ pub mod cache;
 pub mod dataset;
 pub mod experiments;
 pub mod features;
+pub mod fleet;
 pub mod ivf;
 pub mod kmeans;
 pub mod linalg;
@@ -44,10 +45,11 @@ pub use binary::BinaryCoder;
 pub use cache::QueryContext;
 pub use dataset::{Dataset, RecallReport};
 pub use features::FeatureNet;
+pub use fleet::CbirFleetScenario;
 pub use ivf::IvfIndex;
 pub use pca::Pca;
 pub use pipeline::{CbirMapping, CbirPipeline};
 pub use pq::ProductQuantizer;
 pub use scenarios::{blueprint_with, CbirScenario};
-pub use topk::top_k;
+pub use topk::{merge_top_k, top_k};
 pub use workload::CbirWorkload;

@@ -83,6 +83,32 @@ pub fn top_k(items: impl IntoIterator<Item = (f32, usize)>, k: usize) -> Vec<(f3
     out.into_iter().map(|c| (c.dist, c.index)).collect()
 }
 
+/// Merges per-shard partial top-K lists into the global top-K.
+///
+/// Each shard list must carry **global** indices and hold that shard's own
+/// `k` best candidates (a per-shard [`top_k`] output). Because every global
+/// winner is, by definition, among its own shard's `k` best, re-selecting
+/// over the chained partials recovers exactly the unsharded answer — same
+/// distances, same index tie-breaks, same order. Empty shards contribute
+/// nothing; shards smaller than `k` simply contribute everything they have.
+///
+/// # Panics
+///
+/// Panics if any distance is NaN (inherited from [`top_k`]).
+///
+/// # Example
+///
+/// ```
+/// use reach_cbir::{merge_top_k, top_k};
+/// let shard_a = top_k([(3.0, 0), (1.0, 2)], 2);
+/// let shard_b = top_k([(2.0, 1), (0.5, 3)], 2);
+/// assert_eq!(merge_top_k(&[shard_a, shard_b], 2), vec![(0.5, 3), (1.0, 2)]);
+/// ```
+#[must_use]
+pub fn merge_top_k(shards: &[Vec<(f32, usize)>], k: usize) -> Vec<(f32, usize)> {
+    top_k(shards.iter().flatten().copied(), k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +149,15 @@ mod tests {
         let _ = top_k([(f32::NAN, 0)], 1);
     }
 
+    #[test]
+    fn merge_handles_empty_shards_and_oversized_k() {
+        // Two empty shards, one tiny shard smaller than k.
+        let shards = vec![Vec::new(), vec![(2.0, 5), (1.0, 7)], Vec::new()];
+        assert_eq!(merge_top_k(&shards, 10), vec![(1.0, 7), (2.0, 5)]);
+        assert!(merge_top_k(&[], 10).is_empty());
+        assert!(merge_top_k(&shards, 0).is_empty());
+    }
+
     proptest! {
         /// top_k == sorted prefix, for every input and k.
         #[test]
@@ -137,6 +172,50 @@ mod tests {
             want.sort_by(|a, b| a.partial_cmp(b).unwrap());
             want.truncate(k);
             prop_assert_eq!(got, want);
+        }
+
+        /// The scatter-gather contract: partition the candidates across N
+        /// shards (round-robin, preserving global indices), select k per
+        /// shard, merge — the result equals the unsharded top_k exactly.
+        /// Small inputs leave some shards empty, and k regularly exceeds a
+        /// shard's size, so both edge cases are inside the search space.
+        #[test]
+        fn merged_shard_topk_equals_global_topk(
+            dists in proptest::collection::vec(-1e6f32..1e6, 0..200),
+            shards in 1usize..9,
+            k in 0usize..32,
+        ) {
+            let items: Vec<(f32, usize)> =
+                dists.iter().copied().enumerate().map(|(i, d)| (d, i)).collect();
+            let mut parts: Vec<Vec<(f32, usize)>> = vec![Vec::new(); shards];
+            for (i, item) in items.iter().enumerate() {
+                parts[i % shards].push(*item);
+            }
+            let partials: Vec<Vec<(f32, usize)>> =
+                parts.into_iter().map(|p| top_k(p, k)).collect();
+            prop_assert_eq!(merge_top_k(&partials, k), top_k(items, k));
+        }
+
+        /// Duplicate distances everywhere: ties must break by global index
+        /// identically on the sharded and unsharded paths.
+        #[test]
+        fn merge_breaks_ties_identically_to_global(
+            n in 0usize..120,
+            shards in 1usize..9,
+            k in 0usize..32,
+            quantum in 1u32..4,
+        ) {
+            // Coarsely quantized distances force heavy tie pressure.
+            let items: Vec<(f32, usize)> = (0..n)
+                .map(|i| (((i * 7919) % quantum as usize) as f32, i))
+                .collect();
+            let mut parts: Vec<Vec<(f32, usize)>> = vec![Vec::new(); shards];
+            for (i, item) in items.iter().enumerate() {
+                parts[i % shards].push(*item);
+            }
+            let partials: Vec<Vec<(f32, usize)>> =
+                parts.into_iter().map(|p| top_k(p, k)).collect();
+            prop_assert_eq!(merge_top_k(&partials, k), top_k(items, k));
         }
     }
 }

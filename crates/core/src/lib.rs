@@ -32,6 +32,9 @@
 //!   (figures, ablations, co-runs, sweeps), plus the [`ScenarioExecutor`]
 //!   contract that lets `reach-bench` fan independent points across
 //!   threads with byte-identical results.
+//! * [`fleet`] — [`FleetBlueprint`]/[`FleetScenario`]: the topology layer
+//!   above single machines — N nodes with dataset shards, an inter-machine
+//!   link, and a deterministic scatter-gather aggregator.
 //!
 //! ## Quick start
 //!
@@ -61,6 +64,7 @@ pub mod api;
 pub mod blueprint;
 pub mod config;
 pub mod fingerprint;
+pub mod fleet;
 pub mod host;
 pub mod machine;
 pub mod report;
@@ -75,6 +79,10 @@ pub use api::{
 pub use blueprint::MachineBlueprint;
 pub use config::SystemConfig;
 pub use fingerprint::ConfigFingerprint;
+pub use fleet::{
+    aggregate_scatter_gather, rack_link, FleetBlueprint, FleetScenario, InterMachineLink,
+    ScatterGatherSpec, ShardPlacement,
+};
 pub use host::{ArrivalProcess, Batcher};
 pub use machine::Machine;
 pub use report::{RunReport, StageSummary};

@@ -12,6 +12,7 @@
 
 use crate::blueprint::MachineBlueprint;
 use crate::fingerprint::ConfigFingerprint;
+use crate::fleet::FleetScenario;
 use crate::machine::Machine;
 use crate::report::RunReport;
 
@@ -76,6 +77,47 @@ pub trait ScenarioExecutor {
     /// Executes every scenario and returns their results in submission
     /// order.
     fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult>;
+
+    /// Executes a batch of fleet scenarios, in submission order.
+    ///
+    /// Every fleet expands into one ordinary [`Scenario`] per shard; the
+    /// whole expansion is submitted to [`ScenarioExecutor::run_all`] as a
+    /// single flat batch, so thread fan-out, shard-level result caching
+    /// and fingerprint harvesting all apply unchanged. The per-shard
+    /// reports are then reduced by each fleet's
+    /// [`FleetScenario::aggregate`] — sequentially, in submission order,
+    /// which keeps the output byte-identical at any job count.
+    fn run_fleets(&self, fleets: Vec<Box<dyn FleetScenario>>) -> Vec<ScenarioResult> {
+        let mut batch: Vec<Box<dyn Scenario>> = Vec::new();
+        let mut spans = Vec::with_capacity(fleets.len());
+        for fleet in &fleets {
+            let start = batch.len();
+            let shards = fleet.fleet().shards();
+            for shard in 0..shards {
+                batch.push(fleet.shard_scenario(shard));
+            }
+            spans.push(start..batch.len());
+        }
+        let mut results = self.run_all(batch).into_iter();
+        fleets
+            .iter()
+            .zip(spans)
+            .map(|(fleet, span)| {
+                let reports: Vec<RunReport> = span
+                    .map(|_| {
+                        results
+                            .next()
+                            .expect("run_all returns one result per scenario")
+                            .report
+                    })
+                    .collect();
+                ScenarioResult {
+                    label: fleet.label(),
+                    report: fleet.aggregate(reports),
+                }
+            })
+            .collect()
+    }
 }
 
 /// The trivial executor: runs scenarios one after another on the calling

@@ -55,7 +55,7 @@ pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot, OccupancyId,
     WindowedGauge,
 };
-pub use rate::{Bandwidth, Frequency};
+pub use rate::{Bandwidth, Frequency, Link};
 pub use resource::{BandwidthResource, MultiResource, Reservation, SerialResource};
 pub use stats::{Accumulator, Counter, Histogram, TimeWeighted};
 pub use time::{SimDuration, SimTime};

@@ -193,6 +193,57 @@ impl fmt::Display for Bandwidth {
     }
 }
 
+/// A point-to-point link: fixed propagation latency plus serialization at a
+/// [`Bandwidth`]. The timing resource behind inter-machine transfers — one
+/// message of `bytes` costs `latency + bandwidth.transfer_time(bytes)`.
+///
+/// # Example
+///
+/// ```
+/// use reach_sim::{Bandwidth, Link, SimDuration};
+/// let rack = Link::new(SimDuration::from_us(2), Bandwidth::from_gbps(12));
+/// assert!(rack.transfer_time(0) == SimDuration::from_us(2));
+/// assert!(rack.transfer_time(12_000).as_us_f64() > 2.9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Link {
+    latency: SimDuration,
+    bandwidth: Bandwidth,
+}
+
+impl Link {
+    /// A link with the given propagation latency and serialization rate.
+    #[must_use]
+    pub fn new(latency: SimDuration, bandwidth: Bandwidth) -> Self {
+        Link { latency, bandwidth }
+    }
+
+    /// One-way propagation latency (charged once per message).
+    #[must_use]
+    pub fn latency(self) -> SimDuration {
+        self.latency
+    }
+
+    /// Serialization bandwidth.
+    #[must_use]
+    pub fn bandwidth(self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// End-to-end time for one message of `bytes`: propagation plus
+    /// serialization (rounded up by [`Bandwidth::transfer_time`]).
+    #[must_use]
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        self.latency + self.bandwidth.transfer_time(bytes)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}", self.latency, self.bandwidth)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +307,17 @@ mod tests {
     fn zero_transfer_is_instant() {
         assert_eq!(Bandwidth::from_gbps(1).transfer_time(0), SimDuration::ZERO);
         assert_eq!(Frequency::from_ghz(1).cycles(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn link_charges_latency_plus_serialization() {
+        let link = Link::new(SimDuration::from_us(2), Bandwidth::from_gbps(10));
+        // An empty message still pays propagation.
+        assert_eq!(link.transfer_time(0), SimDuration::from_us(2));
+        // 10 KB at 10 GB/s = 1 us of serialization on top.
+        assert_eq!(link.transfer_time(10_000), SimDuration::from_us(3));
+        assert_eq!(link.latency(), SimDuration::from_us(2));
+        assert_eq!(link.bandwidth(), Bandwidth::from_gbps(10));
+        assert_eq!(link.to_string(), "2.000us + 10.0GB/s");
     }
 }
