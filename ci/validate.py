@@ -8,6 +8,7 @@ same validations run locally:
     ci/validate.py bench BENCH_PR2.json BENCH_PR5.json ...
     ci/validate.py golden tests/golden/fingerprints.txt
     ci/validate.py fleet fleet_j1.out fleet_j4.out ...  # determinism captures
+    ci/validate.py traffic traffic_j1.out traffic_j4.out ...
     ci/validate.py selftest                      # the validators' own tests
 
 Exit status is non-zero on the first failed check, with the offending file
@@ -31,6 +32,20 @@ FINGERPRINT_LINE = re.compile(r"^([0-9a-f]{32}|-{32})  \S.*$")
 FLEET_HEADER = "EXTENSION. FLEET SCATTER-GATHER"
 FLEET_SWEEP = (1, 2, 4, 8, 16)
 FLEET_PLACEMENTS = ("near-memory", "near-storage")
+
+TRAFFIC_HEADER = "EXTENSION. TRAFFIC SERVING"
+TRAFFIC_RATES = (1, 2, 4, 8, 16)
+TRAFFIC_PLACEMENTS = ("on-chip", "near-memory", "near-storage", "ReACH")
+TRAFFIC_ROW = re.compile(
+    r"^\s*(?P<source>\S+) @\s*(?P<rate>\d+)/s"
+    r"\s+admitted\s*(?P<admitted>\d+)/(?P<offered>\d+)"
+    r"\s*rejected\s*(?P<rejected>\d+)"
+    r"\s+mean\s+(?P<mean>[\d.]+)ms"
+    r"\s+p50\s+(?P<p50>[\d.]+)ms"
+    r"\s+p95\s+(?P<p95>[\d.]+)ms"
+    r"\s+p99\s+(?P<p99>[\d.]+)ms"
+    r"\s+p999\s+(?P<p999>[\d.]+)ms\s*$"
+)
 
 
 class ValidationError(Exception):
@@ -121,12 +136,63 @@ def validate_fleet(captures):
     return f"{len(captures)} identical capture(s), {rows} sweep rows"
 
 
-def check_fleet(paths):
+def validate_traffic(captures):
+    """Traffic-determinism captures: `experiments extension-traffic` stdout
+    recorded at different --jobs levels and cache modes. All captures must
+    be byte-identical; the reference must sweep every placement across every
+    arrival rate with a sane admission ledger (admitted + rejected ==
+    offered), a knee shape that makes physical sense (mean latency and
+    rejections both non-decreasing in offered load, nothing rejected at the
+    lowest rate), and a trace demo row that replays the bursty row exactly."""
+    require(len(captures) >= 2,
+            f"need at least two captures to compare, got {len(captures)}")
+    (ref_name, reference) = captures[0]
+    for name, text in captures[1:]:
+        require(text == reference,
+                f"{name} differs from {ref_name} — traffic determinism broke")
+    require(TRAFFIC_HEADER in reference, "missing the traffic suite header")
+
+    rows = {}
+    for line in reference.splitlines():
+        m = TRAFFIC_ROW.match(line)
+        if m:
+            rows.setdefault(m.group("source"), []).append(m.groupdict())
+    for source, series in rows.items():
+        for row in series:
+            require(int(row["admitted"]) + int(row["rejected"])
+                    == int(row["offered"]),
+                    f"{source} @ {row['rate']}/s: admission ledger does not "
+                    f"balance ({row['admitted']} + {row['rejected']} != "
+                    f"{row['offered']})")
+    for placement in TRAFFIC_PLACEMENTS:
+        series = rows.get(placement, [])
+        require([int(r["rate"]) for r in series] == list(TRAFFIC_RATES),
+                f"{placement}: expected rate sweep {TRAFFIC_RATES}, "
+                f"saw {[int(r['rate']) for r in series]}")
+        require(int(series[0]["rejected"]) == 0,
+                f"{placement}: rejections below the knee (at the lowest rate)")
+        for prev, cur in zip(series, series[1:]):
+            require(float(cur["mean"]) >= float(prev["mean"]),
+                    f"{placement}: mean latency fell from "
+                    f"{prev['mean']}ms to {cur['mean']}ms as load rose")
+            require(int(cur["rejected"]) >= int(prev["rejected"]),
+                    f"{placement}: rejections fell from "
+                    f"{prev['rejected']} to {cur['rejected']} as load rose")
+    bursty, trace = rows.get("bursty", []), rows.get("trace", [])
+    require(len(bursty) == 1 and len(trace) == 1,
+            "missing the bursty/trace demo row pair")
+    require(bursty[0] == dict(trace[0], source="bursty"),
+            "the trace row does not replay the bursty row")
+    n = len(TRAFFIC_PLACEMENTS) * len(TRAFFIC_RATES) + 2
+    return f"{len(captures)} identical capture(s), {n} traffic rows"
+
+
+def check_captures(kind, validate, paths):
     captures = []
     for path in paths:
         with open(path, encoding="utf-8") as f:
             captures.append((path, f.read()))
-    print(f"fleet ok: {validate_fleet(captures)}")
+    print(f"{kind} ok: {validate(captures)}")
 
 
 def check_file(kind, path):
@@ -170,6 +236,26 @@ def selftest():
         for placement in FLEET_PLACEMENTS for n in FLEET_SWEEP
     )
     validate_fleet([("j1", good_fleet), ("j4", good_fleet), ("j8", good_fleet)])
+
+    def traffic_row(source, rate, admitted, rejected, mean):
+        return (f"  {source} @ {rate}/s  admitted {admitted}/24 "
+                f"rejected {rejected}  mean {mean:.3f}ms  p50 {mean:.3f}ms  "
+                f"p95 {mean:.3f}ms  p99 {mean:.3f}ms  p999 {mean:.3f}ms")
+
+    def traffic_capture(lowest_rejected=0, mean_step=100.0, trace_mean=300.0):
+        lines = [TRAFFIC_HEADER]
+        for placement in TRAFFIC_PLACEMENTS:
+            for i, rate in enumerate(TRAFFIC_RATES):
+                rejected = lowest_rejected if i == 0 else 2 * i
+                lines.append(traffic_row(placement, rate, 24 - rejected,
+                                         rejected, 200.0 + mean_step * i))
+        lines.append(traffic_row("bursty", 4, 17, 7, 300.0))
+        lines.append(traffic_row("trace", 4, 17, 7, trace_mean))
+        return "\n".join(lines)
+
+    good_traffic = traffic_capture()
+    validate_traffic([("j1", good_traffic), ("j4", good_traffic),
+                      ("j8", good_traffic)])
 
     def rejects(fn, arg, why):
         try:
@@ -216,11 +302,32 @@ def selftest():
             [("j1", "no header"), ("j4", "no header")],
             "a capture without the fleet header")
 
+    rejects(validate_traffic,
+            [("j1", good_traffic), ("j4", good_traffic + " drifted")],
+            "non-identical traffic captures")
+    rejects(validate_traffic, [("j1", good_traffic)],
+            "a single traffic capture")
+    below_knee = traffic_capture(lowest_rejected=3)
+    rejects(validate_traffic, [("j1", below_knee), ("j4", below_knee)],
+            "rejections at the lowest offered rate")
+    non_monotone = traffic_capture(mean_step=-10.0)
+    rejects(validate_traffic, [("j1", non_monotone), ("j4", non_monotone)],
+            "mean latency falling as load rises")
+    trace_drift = traffic_capture(trace_mean=301.0)
+    rejects(validate_traffic, [("j1", trace_drift), ("j4", trace_drift)],
+            "a trace row that does not replay the bursty row")
+    short = "\n".join(good_traffic.splitlines()[:-3])
+    rejects(validate_traffic, [("j1", short), ("j4", short)],
+            "a capture missing sweep and demo rows")
+    rejects(validate_traffic, [("j1", "no header"), ("j4", "no header")],
+            "a capture without the traffic header")
+
     print("selftest ok: all validators accept good and reject bad inputs")
 
 
 def main(argv):
-    if len(argv) < 2 or argv[1] not in ("metrics", "bench", "golden", "fleet", "selftest"):
+    kinds = ("metrics", "bench", "golden", "fleet", "traffic", "selftest")
+    if len(argv) < 2 or argv[1] not in kinds:
         print(__doc__, file=sys.stderr)
         return 2
     kind = argv[1]
@@ -231,11 +338,12 @@ def main(argv):
     if not paths:
         print(f"{kind}: no files given", file=sys.stderr)
         return 2
-    if kind == "fleet":
+    if kind in ("fleet", "traffic"):
+        validate = {"fleet": validate_fleet, "traffic": validate_traffic}[kind]
         try:
-            check_fleet(paths)
+            check_captures(kind, validate, paths)
         except (ValidationError, OSError) as e:
-            print(f"fleet: {e}", file=sys.stderr)
+            print(f"{kind}: {e}", file=sys.stderr)
             return 1
         return 0
     for path in paths:

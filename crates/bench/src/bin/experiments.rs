@@ -18,6 +18,12 @@
 //! disables it and `--result-cache-policy fifo|lru` picks the eviction
 //! policy (default fifo). Stdout is byte-identical either way.
 //!
+//! `--seed N` overrides the session RNG seed (default
+//! `reach_sim::rng::DEFAULT_SEED`) for every stochastic scenario — traffic
+//! arrival processes, noisy sweeps. The seed is part of each scenario's
+//! fingerprint, so cached results never leak across seeds, and the same
+//! seed always reproduces the same stdout bytes.
+//!
 //! `--metrics PATH` writes every executed scenario's machine telemetry
 //! (queue depths, occupancy, link traffic) as `reach-run-metrics-v1` JSON;
 //! `--bench-out PATH` writes per-experiment wall-clock and headline
@@ -25,7 +31,7 @@
 //! stdout, so the determinism contract above holds.
 
 use reach_bench::runner::{CountingExecutor, RecordingExecutor};
-use reach_bench::{BenchEntry, ExperimentsArgs, ScenarioRunner};
+use reach_bench::{BenchEntry, ExperimentsArgs};
 use reach_sim::{MetricValue, MetricsSnapshot};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -49,9 +55,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let jobs = parsed.jobs;
-    let metrics_path = parsed.metrics;
-    let bench_path = parsed.bench_out;
+    // Install any `--seed N` override before the first scenario is built —
+    // scenarios capture the session seed at construction.
+    parsed.common.apply_seed();
+    let jobs = parsed.common.jobs;
+    let metrics_path = parsed.metrics.clone();
+    let bench_path = parsed.bench_out.clone();
 
     if parsed.list {
         for (name, _) in &renderers {
@@ -88,11 +97,7 @@ fn main() -> ExitCode {
     // configurations across figures and ablations. Caching, like
     // parallelism, never changes stdout (enforced by
     // tests/runner_determinism.rs), only the wall clock.
-    let runner = if parsed.no_result_cache {
-        ScenarioRunner::without_cache(jobs)
-    } else {
-        ScenarioRunner::with_cache_policy(jobs, parsed.result_cache_policy)
-    };
+    let runner = parsed.common.runner();
     let recording = RecordingExecutor::new(&runner);
     let executor = CountingExecutor::new(&recording);
 
@@ -145,7 +150,7 @@ fn main() -> ExitCode {
         "scenario result cache: {} hit(s), {} miss(es){}",
         result_cache.hits,
         result_cache.misses,
-        if parsed.no_result_cache {
+        if parsed.common.no_result_cache {
             " (disabled)"
         } else {
             ""

@@ -29,12 +29,14 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
                  [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
-                 [--jobs N] [--metrics-dir DIR] [--repeat N] [--no-result-cache] \
+                 [--jobs N] [--seed N] [--metrics-dir DIR] [--repeat N] [--no-result-cache] \
                  [--result-cache-policy fifo|lru]"
             );
             return ExitCode::FAILURE;
         }
     };
+    // Install any `--seed N` override before the first scenario is built.
+    args.common.apply_seed();
     println!(
         "mapping {:?}, nm {:?} x ns {:?}, {} batches of {} queries, {} candidates/query{}",
         args.mapping,
@@ -79,11 +81,11 @@ fn main() -> ExitCode {
          (result cache: {} hit(s), {} miss(es){})",
         results.len(),
         args.repeat,
-        args.jobs,
+        args.common.jobs,
         started.elapsed().as_secs_f64(),
         stats.hits,
         stats.misses,
-        if args.no_result_cache {
+        if args.common.no_result_cache {
             ", disabled"
         } else {
             ""

@@ -2,41 +2,123 @@
 //! the accepted grammar — and in particular its rejections, like
 //! `--jobs 0` — is unit-testable instead of only exercisable by spawning
 //! the binary.
+//!
+//! The flags shared by every runner-driving binary (`--jobs`,
+//! `--no-result-cache`, `--result-cache-policy`, `--seed`) live in
+//! [`CommonRunnerArgs`]: one accept-loop, one set of rejection messages,
+//! embedded by both [`ExperimentsArgs`] and [`crate::sweep::SweepArgs`] so
+//! the two grammars cannot drift.
 
 use crate::cache::EvictionPolicy;
+use crate::runner::ScenarioRunner;
 use std::fmt;
 
-/// Parsed `experiments` command line.
+/// The runner-facing flags every batch-running binary accepts.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ExperimentsArgs {
-    /// Worker threads for each experiment's scenario batch (default 1).
+pub struct CommonRunnerArgs {
+    /// Worker threads for each scenario batch (`--jobs N`, default 1).
     pub jobs: usize,
-    /// Telemetry JSON output path (`--metrics PATH`).
-    pub metrics: Option<String>,
-    /// Benchmark-report JSON output path (`--bench-out PATH`).
-    pub bench_out: Option<String>,
     /// Disable the scenario-result cache (`--no-result-cache`).
     pub no_result_cache: bool,
     /// Result-cache eviction policy (`--result-cache-policy fifo|lru`).
     pub result_cache_policy: EvictionPolicy,
+    /// Session-seed override (`--seed N`); `None` keeps
+    /// [`reach_sim::rng::DEFAULT_SEED`]. Covered by every scenario
+    /// fingerprint, so cached results never leak across seeds.
+    pub seed: Option<u64>,
+}
+
+impl Default for CommonRunnerArgs {
+    fn default() -> Self {
+        CommonRunnerArgs {
+            jobs: 1,
+            no_result_cache: false,
+            result_cache_policy: EvictionPolicy::Fifo,
+            seed: None,
+        }
+    }
+}
+
+impl CommonRunnerArgs {
+    /// Tries to consume `key` (and its value, if any) from the iterator.
+    /// Returns `Ok(true)` when the flag was one of the shared ones,
+    /// `Ok(false)` when the caller should match it against its own grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag when a value is missing
+    /// or out of range.
+    pub fn accept(
+        &mut self,
+        key: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, ParseArgsError> {
+        match key {
+            "--jobs" => {
+                self.jobs = match it.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => n,
+                    _ => {
+                        return Err(ParseArgsError(
+                            "--jobs needs a positive integer (at least 1)".into(),
+                        ))
+                    }
+                };
+            }
+            "--seed" => {
+                self.seed = match it.next().map(|v| v.parse::<u64>()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => return Err(ParseArgsError("--seed needs an unsigned integer".into())),
+                };
+            }
+            "--no-result-cache" => self.no_result_cache = true,
+            "--result-cache-policy" => {
+                self.result_cache_policy = match it.next().map(|v| EvictionPolicy::parse(v)) {
+                    Some(Some(p)) => p,
+                    _ => {
+                        return Err(ParseArgsError(
+                            "--result-cache-policy needs 'fifo' or 'lru'".into(),
+                        ))
+                    }
+                };
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The runner these flags select: `jobs` workers, result cache on
+    /// (with the chosen eviction policy) unless `--no-result-cache`.
+    #[must_use]
+    pub fn runner(&self) -> ScenarioRunner {
+        if self.no_result_cache {
+            ScenarioRunner::without_cache(self.jobs)
+        } else {
+            ScenarioRunner::with_cache_policy(self.jobs, self.result_cache_policy)
+        }
+    }
+
+    /// Installs the `--seed` override as the process-wide session seed.
+    /// Call once, right after parsing, before any scenario is built.
+    pub fn apply_seed(&self) {
+        if let Some(seed) = self.seed {
+            reach_sim::rng::set_session_seed(seed);
+        }
+    }
+}
+
+/// Parsed `experiments` command line.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ExperimentsArgs {
+    /// The shared runner flags.
+    pub common: CommonRunnerArgs,
+    /// Telemetry JSON output path (`--metrics PATH`).
+    pub metrics: Option<String>,
+    /// Benchmark-report JSON output path (`--bench-out PATH`).
+    pub bench_out: Option<String>,
     /// Print the known experiment ids and exit (`--list`).
     pub list: bool,
     /// Experiment ids to run (empty means all).
     pub ids: Vec<String>,
-}
-
-impl Default for ExperimentsArgs {
-    fn default() -> Self {
-        ExperimentsArgs {
-            jobs: 1,
-            metrics: None,
-            bench_out: None,
-            no_result_cache: false,
-            result_cache_policy: EvictionPolicy::Fifo,
-            list: false,
-            ids: Vec::new(),
-        }
-    }
 }
 
 /// A parse failure, ready to print to stderr.
@@ -65,17 +147,10 @@ impl ExperimentsArgs {
         let mut out = ExperimentsArgs::default();
         let mut it = raw.iter();
         while let Some(a) = it.next() {
+            if out.common.accept(a.as_str(), &mut it)? {
+                continue;
+            }
             match a.as_str() {
-                "--jobs" => {
-                    out.jobs = match it.next().map(|v| v.parse::<usize>()) {
-                        Some(Ok(n)) if n >= 1 => n,
-                        _ => {
-                            return Err(ParseArgsError(
-                                "--jobs needs a positive integer (at least 1)".into(),
-                            ))
-                        }
-                    };
-                }
                 "--metrics" => match it.next() {
                     Some(p) => out.metrics = Some(p.clone()),
                     None => return Err(ParseArgsError("--metrics needs a file path".into())),
@@ -84,17 +159,6 @@ impl ExperimentsArgs {
                     Some(p) => out.bench_out = Some(p.clone()),
                     None => return Err(ParseArgsError("--bench-out needs a file path".into())),
                 },
-                "--no-result-cache" => out.no_result_cache = true,
-                "--result-cache-policy" => {
-                    out.result_cache_policy = match it.next().map(|v| EvictionPolicy::parse(v)) {
-                        Some(Some(p)) => p,
-                        _ => {
-                            return Err(ParseArgsError(
-                                "--result-cache-policy needs 'fifo' or 'lru'".into(),
-                            ))
-                        }
-                    };
-                }
                 "--list" => out.list = true,
                 other => out.ids.push(other.to_string()),
             }
@@ -115,8 +179,9 @@ mod tests {
     fn defaults() {
         let a = parse(&[]).unwrap();
         assert_eq!(a, ExperimentsArgs::default());
-        assert_eq!(a.jobs, 1);
-        assert!(!a.no_result_cache);
+        assert_eq!(a.common.jobs, 1);
+        assert!(!a.common.no_result_cache);
+        assert_eq!(a.common.seed, None);
     }
 
     #[test]
@@ -133,12 +198,25 @@ mod tests {
             "table1",
         ])
         .unwrap();
-        assert_eq!(a.jobs, 4);
+        assert_eq!(a.common.jobs, 4);
         assert_eq!(a.metrics.as_deref(), Some("m.json"));
         assert_eq!(a.bench_out.as_deref(), Some("b.json"));
-        assert!(a.no_result_cache);
+        assert!(a.common.no_result_cache);
         assert_eq!(a.ids, ["fig13", "table1"]);
     }
+
+    #[test]
+    fn seed_parses_without_applying() {
+        // Parsing records the override; only `apply_seed` (called by the
+        // binaries, never by tests) touches the process-wide seed.
+        let a = parse(&["--seed", "7"]).unwrap();
+        assert_eq!(a.common.seed, Some(7));
+        assert_eq!(reach_sim::rng::session_seed(), reach_sim::rng::DEFAULT_SEED);
+    }
+
+    // Every rejection message of the shared grammar, asserted in one
+    // place — the sweep parser routes through the same `accept`, so these
+    // cover both binaries.
 
     #[test]
     fn rejects_zero_jobs_with_a_clear_message() {
@@ -159,6 +237,17 @@ mod tests {
     }
 
     #[test]
+    fn rejects_missing_or_malformed_seed() {
+        for bad in [&["--seed"][..], &["--seed", "lucky"], &["--seed", "-3"]] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("--seed needs an unsigned integer"),
+                "unhelpful message: {err}"
+            );
+        }
+    }
+
+    #[test]
     fn list_flag_parses() {
         assert!(parse(&["--list"]).unwrap().list);
     }
@@ -166,18 +255,20 @@ mod tests {
     #[test]
     fn cache_policy_parses_and_defaults_to_fifo() {
         assert_eq!(
-            parse(&[]).unwrap().result_cache_policy,
+            parse(&[]).unwrap().common.result_cache_policy,
             EvictionPolicy::Fifo
         );
         assert_eq!(
             parse(&["--result-cache-policy", "lru"])
                 .unwrap()
+                .common
                 .result_cache_policy,
             EvictionPolicy::Lru
         );
         assert_eq!(
             parse(&["--result-cache-policy", "fifo"])
                 .unwrap()
+                .common
                 .result_cache_policy,
             EvictionPolicy::Fifo
         );
@@ -191,5 +282,15 @@ mod tests {
             "unhelpful message: {err}"
         );
         assert!(parse(&["--result-cache-policy"]).is_err());
+    }
+
+    #[test]
+    fn common_runner_selects_cache_mode() {
+        assert!(parse(&[]).unwrap().common.runner().cache_enabled());
+        assert!(!parse(&["--no-result-cache"])
+            .unwrap()
+            .common
+            .runner()
+            .cache_enabled());
     }
 }

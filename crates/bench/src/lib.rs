@@ -20,7 +20,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use cache::{CacheStats, EvictionPolicy, ResultCache};
-pub use cli::ExperimentsArgs;
+pub use cli::{CommonRunnerArgs, ExperimentsArgs};
 pub use export::{
     bench_report_json, label_file_stem, run_metrics_json, scenario_metrics_json, BenchEntry,
 };
@@ -453,6 +453,31 @@ pub fn render_extension_fleet(executor: &dyn ScenarioExecutor) -> String {
     s
 }
 
+/// Renders the open-loop traffic-serving extension experiment: Poisson
+/// query-batch arrivals swept across rates at every placement behind a
+/// bounded admission queue, reporting admission/rejection counts and
+/// latency quantiles — the saturation knee per placement — plus a bursty
+/// arrival point and its bit-for-bit trace replay.
+#[must_use]
+pub fn render_extension_traffic(executor: &dyn ScenarioExecutor) -> String {
+    use reach_cbir::traffic::{TRAFFIC_OFFERED, TRAFFIC_QUEUE_DEPTH};
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXTENSION. TRAFFIC SERVING (open-loop arrivals, {TRAFFIC_OFFERED} offered batches, \
+         admission queue depth {TRAFFIC_QUEUE_DEPTH})"
+    );
+    for r in reach_cbir::traffic::traffic_knee_with(executor) {
+        let _ = writeln!(s, "  {r}");
+    }
+    let _ = writeln!(
+        s,
+        "  -> each placement saturates where rejections appear and tail latency flattens\n\
+         \x20    at the queue bound; the trace row replays the bursty arrivals bit-for-bit."
+    );
+    s
+}
+
 /// A named experiment renderer. Every renderer drives its simulations
 /// through the given executor, so the whole suite parallelizes with one
 /// [`ScenarioRunner`] — with output byte-identical to sequential.
@@ -489,6 +514,7 @@ pub fn renderers() -> Vec<Renderer> {
         // Appended last: the golden stdout/fingerprint files are append-only,
         // so new experiments must not reorder existing output.
         ("extension-fleet", render_extension_fleet),
+        ("extension-traffic", render_extension_traffic),
     ]
 }
 

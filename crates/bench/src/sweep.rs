@@ -4,9 +4,11 @@
 //! `--nm` and `--ns` accept comma-separated lists; the sweep runs the cross
 //! product of shapes, one [`CbirScenario`] per point, fanned across
 //! `--jobs` threads by the [`ScenarioRunner`]. Results come back in grid
-//! order regardless of the job count.
+//! order regardless of the job count. The runner-facing flags (`--jobs`,
+//! `--seed`, `--no-result-cache`, `--result-cache-policy`) are the shared
+//! [`CommonRunnerArgs`] grammar, identical to the `experiments` binary.
 
-use crate::cache::EvictionPolicy;
+use crate::cli::CommonRunnerArgs;
 use crate::runner::ScenarioRunner;
 use reach::{Scenario, ScenarioExecutor, ScenarioResult};
 use reach_cbir::{blueprint_with, CbirMapping, CbirPipeline, CbirScenario, CbirWorkload};
@@ -29,17 +31,13 @@ pub struct SweepArgs {
     pub batch_size: usize,
     /// Run synchronously (no GAM cross-batch pipelining).
     pub sequential: bool,
-    /// Worker threads for the sweep grid.
-    pub jobs: usize,
     /// Directory to drop one per-point telemetry CSV into, if set.
     pub metrics_dir: Option<String>,
     /// Times to run the whole grid (models iterative design-space
     /// exploration; passes after the first hit the result cache).
     pub repeat: usize,
-    /// Disable the scenario-result cache.
-    pub no_result_cache: bool,
-    /// Result-cache eviction policy (`--result-cache-policy fifo|lru`).
-    pub result_cache_policy: EvictionPolicy,
+    /// The shared runner flags (`--jobs`, `--seed`, cache controls).
+    pub common: CommonRunnerArgs,
 }
 
 impl Default for SweepArgs {
@@ -52,11 +50,9 @@ impl Default for SweepArgs {
             candidates: 4096,
             batch_size: 16,
             sequential: false,
-            jobs: 1,
             metrics_dir: None,
             repeat: 1,
-            no_result_cache: false,
-            result_cache_policy: EvictionPolicy::Fifo,
+            common: CommonRunnerArgs::default(),
         }
     }
 }
@@ -79,9 +75,10 @@ impl SweepArgs {
     /// Accepted keys: `--nm`, `--ns` (both accept comma-separated lists),
     /// `--batches`, `--batch-size`, `--candidates`,
     /// `--mapping onchip|near-mem|near-stor|proper`, `--sequential`,
-    /// `--jobs`, `--metrics-dir DIR` (one telemetry CSV per grid point),
+    /// `--metrics-dir DIR` (one telemetry CSV per grid point),
     /// `--repeat N` (run the grid N times; later passes hit the result
-    /// cache), `--no-result-cache` and `--result-cache-policy fifo|lru`.
+    /// cache), plus the shared runner flags `--jobs`, `--seed`,
+    /// `--no-result-cache` and `--result-cache-policy fifo|lru`.
     ///
     /// # Errors
     ///
@@ -91,6 +88,15 @@ impl SweepArgs {
         let mut out = SweepArgs::default();
         let mut it = args.iter();
         while let Some(key) = it.next() {
+            // Shared grammar first, so `--jobs 0` etc. fail with the same
+            // message here as in the `experiments` binary.
+            if out
+                .common
+                .accept(key.as_str(), &mut it)
+                .map_err(|e| ParseSweepError(e.0))?
+            {
+                continue;
+            }
             let mut take = |key: &str| -> Result<&String, ParseSweepError> {
                 it.next()
                     .ok_or_else(|| ParseSweepError(format!("{key} needs a value")))
@@ -112,19 +118,9 @@ impl SweepArgs {
                 "--candidates" => {
                     out.candidates = take_usize(take("--candidates")?, "--candidates")?;
                 }
-                "--jobs" => out.jobs = take_usize(take("--jobs")?, "--jobs")?,
                 "--repeat" => out.repeat = take_usize(take("--repeat")?, "--repeat")?,
                 "--metrics-dir" => out.metrics_dir = Some(take("--metrics-dir")?.clone()),
                 "--sequential" => out.sequential = true,
-                "--no-result-cache" => out.no_result_cache = true,
-                "--result-cache-policy" => {
-                    let v = take("--result-cache-policy")?;
-                    out.result_cache_policy = EvictionPolicy::parse(v).ok_or_else(|| {
-                        ParseSweepError(format!(
-                            "--result-cache-policy needs 'fifo' or 'lru', got '{v}'"
-                        ))
-                    })?;
-                }
                 "--mapping" => {
                     let v = take("--mapping")?;
                     out.mapping = match v.as_str() {
@@ -151,11 +147,6 @@ impl SweepArgs {
         }
         if out.batch_size == 0 {
             return Err(ParseSweepError("--batch-size must be positive".into()));
-        }
-        if out.jobs == 0 {
-            return Err(ParseSweepError(
-                "--jobs must be positive (use 1 for sequential)".into(),
-            ));
         }
         if out.repeat == 0 {
             return Err(ParseSweepError("--repeat must be positive".into()));
@@ -185,16 +176,10 @@ impl SweepArgs {
         points
     }
 
-    /// The runner these arguments select: `jobs` workers, result cache on
-    /// (with the chosen eviction policy) unless `--no-result-cache` was
-    /// given.
+    /// The runner these arguments select (see [`CommonRunnerArgs::runner`]).
     #[must_use]
     pub fn runner(&self) -> ScenarioRunner {
-        if self.no_result_cache {
-            ScenarioRunner::without_cache(self.jobs)
-        } else {
-            ScenarioRunner::with_cache_policy(self.jobs, self.result_cache_policy)
-        }
+        self.common.runner()
     }
 
     /// Runs the whole grid once across `jobs` workers. (The `sweep` binary
@@ -209,6 +194,7 @@ impl SweepArgs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::EvictionPolicy;
 
     fn parse(tokens: &[&str]) -> Result<SweepArgs, ParseSweepError> {
         SweepArgs::parse(&tokens.iter().map(ToString::to_string).collect::<Vec<_>>())
@@ -229,7 +215,7 @@ mod tests {
         let a = parse(&["--nm", "2,4,8", "--ns", "1,2", "--jobs", "3"]).unwrap();
         assert_eq!(a.nm, vec![2, 4, 8]);
         assert_eq!(a.ns, vec![1, 2]);
-        assert_eq!(a.jobs, 3);
+        assert_eq!(a.common.jobs, 3);
         assert_eq!(a.scenarios().len(), 6);
     }
 
@@ -238,6 +224,13 @@ mod tests {
         let a = parse(&["--metrics-dir", "out/metrics"]).unwrap();
         assert_eq!(a.metrics_dir.as_deref(), Some("out/metrics"));
         assert!(parse(&["--metrics-dir"]).is_err());
+    }
+
+    #[test]
+    fn parses_seed_override() {
+        let a = parse(&["--seed", "42"]).unwrap();
+        assert_eq!(a.common.seed, Some(42));
+        assert!(parse(&["--seed", "lucky"]).is_err());
     }
 
     #[test]
@@ -254,8 +247,13 @@ mod tests {
 
     #[test]
     fn zero_counts_name_the_offending_flag() {
+        // `--jobs 0` goes through the shared grammar, so the sweep binary
+        // prints the exact same message as `experiments`.
         let jobs = parse(&["--jobs", "0"]).unwrap_err().to_string();
-        assert!(jobs.contains("--jobs must be positive"), "got: {jobs}");
+        assert!(
+            jobs.contains("--jobs needs a positive integer"),
+            "got: {jobs}"
+        );
         let batches = parse(&["--batches", "0"]).unwrap_err().to_string();
         assert!(
             batches.contains("--batches must be positive"),
@@ -269,7 +267,7 @@ mod tests {
     fn parses_cache_and_repeat_flags() {
         let a = parse(&["--repeat", "3", "--no-result-cache"]).unwrap();
         assert_eq!(a.repeat, 3);
-        assert!(a.no_result_cache);
+        assert!(a.common.no_result_cache);
         assert!(!a.runner().cache_enabled());
         assert!(parse(&[]).unwrap().runner().cache_enabled());
     }
@@ -277,11 +275,11 @@ mod tests {
     #[test]
     fn parses_cache_policy() {
         assert_eq!(
-            parse(&[]).unwrap().result_cache_policy,
+            parse(&[]).unwrap().common.result_cache_policy,
             EvictionPolicy::Fifo
         );
         let a = parse(&["--result-cache-policy", "lru"]).unwrap();
-        assert_eq!(a.result_cache_policy, EvictionPolicy::Lru);
+        assert_eq!(a.common.result_cache_policy, EvictionPolicy::Lru);
         assert!(a.runner().cache_enabled());
         let err = parse(&["--result-cache-policy", "mru"]).unwrap_err();
         assert!(err.to_string().contains("'fifo' or 'lru'"), "got: {err}");
@@ -292,7 +290,7 @@ mod tests {
     fn cached_grid_matches_uncached() {
         let args = parse(&["--nm", "2,4", "--ns", "2", "--batches", "2", "--jobs", "2"]).unwrap();
         let mut uncached = args.clone();
-        uncached.no_result_cache = true;
+        uncached.common.no_result_cache = true;
         let render = |rs: &[ScenarioResult]| -> String {
             rs.iter()
                 .map(|r| format!("{}\n{}", r.label, r.report))

@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod pq;
 pub mod scenarios;
 pub mod topk;
+pub mod traffic;
 pub mod workload;
 
 pub use binary::BinaryCoder;
@@ -52,4 +53,5 @@ pub use pipeline::{CbirMapping, CbirPipeline};
 pub use pq::ProductQuantizer;
 pub use scenarios::{blueprint_with, CbirScenario};
 pub use topk::{merge_top_k, top_k};
+pub use traffic::CbirTrafficScenario;
 pub use workload::CbirWorkload;

@@ -16,50 +16,12 @@
 
 use crate::api::Pipeline;
 use crate::machine::Machine;
-use rand::Rng;
 use reach_sim::{SimDuration, SimTime};
 
-/// An arrival process for individual queries.
-#[derive(Clone, Debug)]
-pub enum ArrivalProcess {
-    /// Fixed inter-arrival gap.
-    Uniform {
-        /// Time between consecutive queries.
-        gap: SimDuration,
-    },
-    /// Poisson arrivals (exponential gaps) with the given mean gap,
-    /// generated deterministically from a seed.
-    Poisson {
-        /// Mean time between queries.
-        mean_gap: SimDuration,
-        /// RNG seed.
-        seed: u64,
-    },
-}
-
-impl ArrivalProcess {
-    /// Generates the arrival instants of `count` queries.
-    #[must_use]
-    pub fn arrivals(&self, count: usize) -> Vec<SimTime> {
-        match *self {
-            ArrivalProcess::Uniform { gap } => (0..count as u64)
-                .map(|i| SimTime::ZERO + gap.scaled(i))
-                .collect(),
-            ArrivalProcess::Poisson { mean_gap, seed } => {
-                let mut rng = reach_sim::rng::derived(seed, "arrivals");
-                let mut t = SimTime::ZERO;
-                (0..count)
-                    .map(|_| {
-                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                        let gap = -u.ln() * mean_gap.as_secs_f64();
-                        t += SimDuration::from_secs_f64(gap);
-                        t
-                    })
-                    .collect()
-            }
-        }
-    }
-}
+// The arrival-process family grew into the open-loop serving layer; it
+// lives in [`crate::traffic`] now and is re-exported here so existing
+// `reach::host::ArrivalProcess` callers keep compiling.
+pub use crate::traffic::ArrivalProcess;
 
 /// Groups query arrivals into batches.
 #[derive(Clone, Copy, Debug)]

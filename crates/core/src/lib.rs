@@ -71,6 +71,7 @@ pub mod report;
 pub mod scenario;
 pub mod telemetry;
 pub mod trace;
+pub mod traffic;
 pub mod work;
 
 pub use api::{
@@ -88,6 +89,7 @@ pub use machine::Machine;
 pub use report::{RunReport, StageSummary};
 pub use scenario::{FnScenario, Scenario, ScenarioExecutor, ScenarioResult, SequentialExecutor};
 pub use trace::{Trace, TraceEvent, TraceKind};
+pub use traffic::{OpenLoop, TrafficReport};
 pub use work::{DataAccess, TaskWork};
 
 // Re-export the vocabulary types users need alongside the API.

@@ -42,7 +42,7 @@ use reach_gam::{Job, JobId, TaskId};
 use reach_mem::{
     AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig,
 };
-use reach_sim::{EventQueue, SimDuration, SimTime, Symbol};
+use reach_sim::{EventQueue, LatencyHistogram, SimDuration, SimTime, Symbol};
 use reach_storage::{NearStorageDevice, PcieSwitch};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -94,8 +94,20 @@ struct TaskMeta {
     /// Registry index of the task's kernel, resolved once at submit time so
     /// dispatch never repeats the string lookup.
     kernel: usize,
+    /// Owning job, so task completion can look up the submission instant
+    /// for the per-stage latency histograms.
+    job: JobId,
     actual_finish: Option<SimTime>,
     acc: Option<AcceleratorId>,
+}
+
+/// A host-side arrival waiting for its submission instant, with the
+/// admission-queue bound it must clear (if any).
+struct DeferredJob {
+    job: Job,
+    /// `Some(depth)`: reject the arrival if `depth` jobs are already in
+    /// flight when it comes due. `None`: always admit.
+    limit: Option<usize>,
 }
 
 struct DmaMeta {
@@ -128,13 +140,17 @@ pub struct Machine {
     job_submit: BTreeMap<JobId, SimTime>,
     job_done: BTreeMap<JobId, SimTime>,
     job_latency: Vec<SimDuration>,
+    /// End-to-end job latency distribution (submission -> host interrupt).
+    job_latency_hist: LatencyHistogram,
+    /// Submission -> stage-completion latency distribution per stage.
+    stage_latency: HashMap<Symbol, LatencyHistogram>,
     /// Symbol-keyed so per-event accounting hashes a `u32`, not a string.
     /// Report building sorts by the resolved name to keep output stable.
     stages: HashMap<Symbol, StageAcct>,
     /// Fallback stage for DMAs whose consumer task is already retired.
     sym_transfer: Symbol,
     ns_cursor: u64,
-    deferred: Vec<Option<Job>>,
+    deferred: Vec<Option<DeferredJob>>,
     trace: Option<Trace>,
     metrics: MachineMetrics,
     events_processed: u64,
@@ -229,6 +245,8 @@ impl Machine {
             job_submit: BTreeMap::new(),
             job_done: BTreeMap::new(),
             job_latency: Vec::new(),
+            job_latency_hist: LatencyHistogram::new(),
+            stage_latency: HashMap::new(),
             stages: HashMap::new(),
             sym_transfer: Symbol::intern("transfer"),
             ns_cursor: 0,
@@ -280,32 +298,7 @@ impl Machine {
     /// Panics if a task has no work descriptor or references an unknown
     /// template.
     pub fn submit(&mut self, job: Job, works: HashMap<TaskId, TaskWork>) {
-        for t in &job.tasks {
-            let work = works
-                .get(&t.id)
-                .unwrap_or_else(|| panic!("Machine::submit: no TaskWork for {}", t.id));
-            let kernel = self
-                .registry
-                .resolve_index(t.template.resolve(), t.level)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "Machine::submit: unknown template {} at {}",
-                        t.template, t.level
-                    )
-                });
-            let stage = work.stage_label.as_deref().map_or(t.stage, Symbol::intern);
-            self.tasks.insert(
-                t.id,
-                TaskMeta {
-                    macs: work.macs,
-                    access: work.access,
-                    stage,
-                    kernel,
-                    actual_finish: None,
-                    acc: None,
-                },
-            );
-        }
+        self.register_tasks(&job, &works, "Machine::submit");
         self.job_submit.insert(job.id, self.queue.now());
         self.queue.reserve(job.tasks.len());
         let actions = self.gam.submit_job(job);
@@ -321,18 +314,56 @@ impl Machine {
     /// Panics under the same conditions as [`Machine::submit`], or if `at`
     /// is in the simulated past.
     pub fn submit_at(&mut self, at: SimTime, job: Job, works: HashMap<TaskId, TaskWork>) {
+        self.register_tasks(&job, &works, "Machine::submit_at");
+        let index = self.deferred.len();
+        self.deferred.push(Some(DeferredJob { job, limit: None }));
+        self.queue.push(at, Event::SubmitJob { index });
+    }
+
+    /// Schedules a job arrival behind a bounded admission queue: when `at`
+    /// comes due, the job is submitted only if fewer than `queue_depth`
+    /// jobs are in flight; otherwise the arrival is *rejected* — counted in
+    /// [`reach_gam::manager::GamStats::jobs_rejected`] and dropped, never
+    /// simulated. This is what keeps an open-loop source past saturation
+    /// from queueing work without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Machine::submit_at`], or if
+    /// `queue_depth` is zero (a queue that admits nothing).
+    pub fn submit_at_bounded(
+        &mut self,
+        at: SimTime,
+        job: Job,
+        works: HashMap<TaskId, TaskWork>,
+        queue_depth: usize,
+    ) {
+        assert!(
+            queue_depth > 0,
+            "Machine::submit_at_bounded: zero admission-queue depth"
+        );
+        self.register_tasks(&job, &works, "Machine::submit_at_bounded");
+        let index = self.deferred.len();
+        self.deferred.push(Some(DeferredJob {
+            job,
+            limit: Some(queue_depth),
+        }));
+        self.queue.push(at, Event::SubmitJob { index });
+    }
+
+    /// Validates and records per-task metadata for a job about to be
+    /// submitted (now or at a deferred instant). `caller` names the public
+    /// entry point in panic messages.
+    fn register_tasks(&mut self, job: &Job, works: &HashMap<TaskId, TaskWork>, caller: &str) {
         for t in &job.tasks {
             let work = works
                 .get(&t.id)
-                .unwrap_or_else(|| panic!("Machine::submit_at: no TaskWork for {}", t.id));
+                .unwrap_or_else(|| panic!("{caller}: no TaskWork for {}", t.id));
             let kernel = self
                 .registry
                 .resolve_index(t.template.resolve(), t.level)
                 .unwrap_or_else(|| {
-                    panic!(
-                        "Machine::submit_at: unknown template {} at {}",
-                        t.template, t.level
-                    )
+                    panic!("{caller}: unknown template {} at {}", t.template, t.level)
                 });
             let stage = work.stage_label.as_deref().map_or(t.stage, Symbol::intern);
             self.tasks.insert(
@@ -342,14 +373,12 @@ impl Machine {
                     access: work.access,
                     stage,
                     kernel,
+                    job: job.id,
                     actual_finish: None,
                     acc: None,
                 },
             );
         }
-        let index = self.deferred.len();
-        self.deferred.push(Some(job));
-        self.queue.push(at, Event::SubmitJob { index });
     }
 
     /// Drains the event queue and produces the run report.
@@ -367,6 +396,7 @@ impl Machine {
                 self.events_processed += 1;
                 match ev {
                     Event::TaskDone { task } => {
+                        self.note_stage_latency(task, now);
                         let actions = self.gam.complete(task);
                         self.record_host_interrupts(&actions, now);
                         self.process_actions(actions);
@@ -379,6 +409,7 @@ impl Machine {
                             self.record_poll_trace(task, now);
                         }
                         if af <= now {
+                            self.note_stage_latency(task, now);
                             let actions = self.gam.complete(task);
                             self.record_host_interrupts(&actions, now);
                             self.process_actions(actions);
@@ -392,12 +423,19 @@ impl Machine {
                         self.process_actions(actions);
                     }
                     Event::SubmitJob { index } => {
-                        let job = self.deferred[index]
+                        let due = self.deferred[index]
                             .take()
                             .expect("deferred job submitted twice");
-                        self.job_submit.insert(job.id, now);
-                        let actions = self.gam.submit_job(job);
-                        self.process_actions(actions);
+                        let full = due
+                            .limit
+                            .is_some_and(|depth| self.gam.jobs_in_flight() >= depth);
+                        if full {
+                            self.reject_arrival(due.job);
+                        } else {
+                            self.job_submit.insert(due.job.id, now);
+                            let actions = self.gam.submit_job(due.job);
+                            self.process_actions(actions);
+                        }
                     }
                 }
                 self.sample_queues();
@@ -436,11 +474,38 @@ impl Machine {
         }
     }
 
+    /// Observes one task completion into its stage's latency histogram:
+    /// the distribution of job-submission -> stage-completion times, i.e.
+    /// how long a query batch has been in the system when each pipeline
+    /// stage finishes with it. Symbol-keyed and allocation-free after the
+    /// first sample per stage.
+    fn note_stage_latency(&mut self, task: TaskId, now: SimTime) {
+        let meta = &self.tasks[&task];
+        let submitted = self.job_submit[&meta.job];
+        self.stage_latency
+            .entry(meta.stage)
+            .or_default()
+            .record(now.since(submitted).as_ps());
+    }
+
+    /// An arrival bounced off a full admission queue: drop its task state
+    /// and count the rejection. Off the hot path — below saturation this
+    /// never runs.
+    #[cold]
+    fn reject_arrival(&mut self, job: Job) {
+        for t in &job.tasks {
+            self.tasks.remove(&t.id);
+        }
+        self.gam.reject_job();
+    }
+
     fn record_host_interrupts(&mut self, actions: &[GamAction], now: SimTime) {
         for a in actions {
             if let GamAction::HostInterrupt { job } = a {
                 let submitted = self.job_submit[job];
-                self.job_latency.push(now.since(submitted));
+                let latency = now.since(submitted);
+                self.job_latency.push(latency);
+                self.job_latency_hist.record(latency.as_ps());
                 self.job_done.insert(*job, now);
             }
         }
@@ -939,6 +1004,32 @@ impl Machine {
         snap.set_counter("gam.polls_missed", g.polls_missed);
         snap.set_counter("gam.dmas", g.dmas);
         snap.set_counter("gam.dma_bytes", g.dma_bytes);
+        snap.set_counter("gam.jobs_rejected", g.jobs_rejected);
+
+        // Latency-distribution quantiles (submission -> completion, in
+        // picoseconds), from the deterministic log-bucketed histograms.
+        // Emitted only once something completed, so closed-loop runs that
+        // predate the traffic layer keep their exact metric schema.
+        let quantiles =
+            |snap: &mut reach_sim::MetricsSnapshot, prefix: &str, h: &LatencyHistogram| {
+                snap.set_counter(&format!("{prefix}.samples"), h.count());
+                snap.set_counter(&format!("{prefix}.p50_ps"), h.p50());
+                snap.set_counter(&format!("{prefix}.p95_ps"), h.p95());
+                snap.set_counter(&format!("{prefix}.p99_ps"), h.p99());
+                snap.set_counter(&format!("{prefix}.p999_ps"), h.p999());
+            };
+        if self.job_latency_hist.count() > 0 {
+            quantiles(&mut snap, "latency.job", &self.job_latency_hist);
+        }
+        let mut stage_hists: Vec<(&'static str, &LatencyHistogram)> = self
+            .stage_latency
+            .iter()
+            .map(|(s, h)| (s.resolve(), h))
+            .collect();
+        stage_hists.sort_unstable_by_key(|&(name, _)| name);
+        for (name, h) in stage_hists {
+            quantiles(&mut snap, &format!("latency.stage.{name}"), h);
+        }
 
         // Event-loop throughput counters (fed to the experiments stderr
         // summary; never printed on stdout).

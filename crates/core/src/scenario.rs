@@ -26,9 +26,11 @@ pub trait Scenario: Send + Sync {
     fn label(&self) -> String;
 
     /// The seed this scenario derives all its randomness from. Executors
-    /// never inject randomness, so runs replay bit-for-bit.
+    /// never inject randomness, so runs replay bit-for-bit. Defaults to the
+    /// process-wide session seed ([`DEFAULT_SEED`] unless `--seed N`
+    /// overrode it via [`reach_sim::rng::set_session_seed`]).
     fn seed(&self) -> u64 {
-        DEFAULT_SEED
+        reach_sim::rng::session_seed()
     }
 
     /// The machine this scenario runs on.
@@ -153,7 +155,7 @@ where
     pub fn new(label: impl Into<String>, blueprint: MachineBlueprint, body: F) -> Self {
         FnScenario {
             label: label.into(),
-            seed: DEFAULT_SEED,
+            seed: reach_sim::rng::session_seed(),
             blueprint,
             body,
         }

@@ -92,6 +92,9 @@ pub struct GamStats {
     pub dmas: u64,
     /// Bytes moved by GAM-initiated DMA.
     pub dma_bytes: u64,
+    /// Job arrivals turned away by admission control before submission
+    /// (never entered the GAM's task tables).
+    pub jobs_rejected: u64,
 }
 
 impl GamStats {
@@ -105,6 +108,7 @@ impl GamStats {
         self.polls_missed += other.polls_missed;
         self.dmas += other.dmas;
         self.dma_bytes += other.dma_bytes;
+        self.jobs_rejected += other.jobs_rejected;
     }
 }
 
@@ -217,6 +221,19 @@ impl Gam {
     #[must_use]
     pub fn queue_depth(&self, level: ComputeLevel) -> usize {
         self.queues.get(&level).map_or(0, BTreeSet::len)
+    }
+
+    /// Jobs submitted but not yet completed — the backlog an admission
+    /// queue bounds.
+    #[must_use]
+    pub fn jobs_in_flight(&self) -> usize {
+        (self.stats.jobs_submitted - self.stats.jobs_completed) as usize
+    }
+
+    /// Records a job arrival turned away by admission control. The job is
+    /// never submitted; only the rejection counter moves.
+    pub fn reject_job(&mut self) {
+        self.stats.jobs_rejected += 1;
     }
 
     /// Submits a job: allocates buffer-table entries, threads dependencies,

@@ -57,5 +57,5 @@ pub use metrics::{
 };
 pub use rate::{Bandwidth, Frequency, Link};
 pub use resource::{BandwidthResource, MultiResource, Reservation, SerialResource};
-pub use stats::{Accumulator, Counter, Histogram, TimeWeighted};
+pub use stats::{Accumulator, Counter, Histogram, LatencyHistogram, TimeWeighted};
 pub use time::{SimDuration, SimTime};

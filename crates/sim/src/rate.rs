@@ -38,15 +38,29 @@ impl Frequency {
     }
 
     /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero or the hertz value overflows `u64`.
     #[must_use]
     pub fn from_mhz(mhz: u64) -> Self {
-        Self::from_hz(mhz * 1_000_000)
+        Self::from_hz(
+            mhz.checked_mul(1_000_000)
+                .unwrap_or_else(|| panic!("Frequency::from_mhz: {mhz} MHz overflows u64 hertz")),
+        )
     }
 
     /// Creates a frequency from gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is zero or the hertz value overflows `u64`.
     #[must_use]
     pub fn from_ghz(ghz: u64) -> Self {
-        Self::from_hz(ghz * 1_000_000_000)
+        Self::from_hz(
+            ghz.checked_mul(1_000_000_000)
+                .unwrap_or_else(|| panic!("Frequency::from_ghz: {ghz} GHz overflows u64 hertz")),
+        )
     }
 
     /// Returns the frequency in hertz.
@@ -120,15 +134,27 @@ impl Bandwidth {
     }
 
     /// Creates a bandwidth from megabytes per second (decimal MB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb_per_sec` is zero or the bytes/s value overflows `u64`.
     #[must_use]
     pub fn from_mbps(mb_per_sec: u64) -> Self {
-        Self::from_bytes_per_sec(mb_per_sec * 1_000_000)
+        Self::from_bytes_per_sec(mb_per_sec.checked_mul(1_000_000).unwrap_or_else(|| {
+            panic!("Bandwidth::from_mbps: {mb_per_sec} MB/s overflows u64 bytes/s")
+        }))
     }
 
     /// Creates a bandwidth from gigabytes per second (decimal GB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gb_per_sec` is zero or the bytes/s value overflows `u64`.
     #[must_use]
     pub fn from_gbps(gb_per_sec: u64) -> Self {
-        Self::from_bytes_per_sec(gb_per_sec * 1_000_000_000)
+        Self::from_bytes_per_sec(gb_per_sec.checked_mul(1_000_000_000).unwrap_or_else(|| {
+            panic!("Bandwidth::from_gbps: {gb_per_sec} GB/s overflows u64 bytes/s")
+        }))
     }
 
     /// Returns the rate in bytes per second.
@@ -164,7 +190,12 @@ impl Bandwidth {
     #[must_use]
     pub fn share(self, ways: u64) -> Bandwidth {
         assert!(ways > 0, "Bandwidth::share: zero ways");
-        Self::from_bytes_per_sec(self.0 / ways)
+        let each = self.0 / ways;
+        assert!(
+            each > 0,
+            "Bandwidth::share: {self} split {ways} ways rounds to zero"
+        );
+        Self::from_bytes_per_sec(each)
     }
 
     /// Scales the rate by a dimensionless efficiency factor in `(0, 1]`,
@@ -179,7 +210,12 @@ impl Bandwidth {
             eff > 0.0 && eff <= 1.0,
             "Bandwidth::derate: efficiency {eff} outside (0, 1]"
         );
-        Self::from_bytes_per_sec((self.0 as f64 * eff) as u64)
+        let derated = (self.0 as f64 * eff) as u64;
+        assert!(
+            derated > 0,
+            "Bandwidth::derate: {self} at efficiency {eff} rounds to zero"
+        );
+        Self::from_bytes_per_sec(derated)
     }
 }
 
@@ -293,6 +329,42 @@ mod tests {
     #[should_panic(expected = "efficiency")]
     fn derate_rejects_out_of_range() {
         let _ = Bandwidth::from_gbps(1).derate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "Frequency::from_mhz: 18446744073710 MHz overflows")]
+    fn from_mhz_names_the_overflowing_value() {
+        let _ = Frequency::from_mhz(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Frequency::from_ghz: 18446744074 GHz overflows")]
+    fn from_ghz_names_the_overflowing_value() {
+        let _ = Frequency::from_ghz(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bandwidth::from_mbps: 18446744073710 MB/s overflows")]
+    fn from_mbps_names_the_overflowing_value() {
+        let _ = Bandwidth::from_mbps(u64::MAX / 1_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Bandwidth::from_gbps: 18446744074 GB/s overflows")]
+    fn from_gbps_names_the_overflowing_value() {
+        let _ = Bandwidth::from_gbps(u64::MAX / 1_000_000_000 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "3.0MB/s split 4000000 ways rounds to zero")]
+    fn share_names_the_rounded_to_zero_split() {
+        let _ = Bandwidth::from_mbps(3).share(4_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at efficiency 0.0000000001 rounds to zero")]
+    fn derate_names_the_rounded_to_zero_result() {
+        let _ = Bandwidth::from_bytes_per_sec(100).derate(1e-10);
     }
 
     #[test]

@@ -7,10 +7,31 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The seed used by every experiment unless overridden: chosen once,
 /// recorded here, never changed, so published numbers stay reproducible.
 pub const DEFAULT_SEED: u64 = 0x5EAC_4001;
+
+/// The process-wide seed scenarios pick up by default. Starts at
+/// [`DEFAULT_SEED`]; binaries override it once, at startup, from `--seed N`.
+static SESSION_SEED: AtomicU64 = AtomicU64::new(DEFAULT_SEED);
+
+/// The seed new scenarios should use: [`DEFAULT_SEED`] unless the process
+/// overrode it with [`set_session_seed`].
+#[must_use]
+pub fn session_seed() -> u64 {
+    SESSION_SEED.load(Ordering::Relaxed)
+}
+
+/// Overrides the process-wide session seed (the `--seed N` flag).
+///
+/// Call once, before any scenario is constructed: scenarios capture the
+/// session seed at build time and cover it in their config fingerprints, so
+/// flipping it mid-run would split a batch across two seeds.
+pub fn set_session_seed(seed: u64) {
+    SESSION_SEED.store(seed, Ordering::Relaxed);
+}
 
 /// Creates the workspace's standard deterministic RNG from a seed.
 ///
@@ -64,6 +85,17 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         assert_ne!(seeded(1).gen::<u64>(), seeded(2).gen::<u64>());
+    }
+
+    #[test]
+    fn session_seed_defaults_and_overrides() {
+        // The only test that touches the session seed, so there is no
+        // cross-test race; restore the default before returning.
+        assert_eq!(session_seed(), DEFAULT_SEED);
+        set_session_seed(7);
+        assert_eq!(session_seed(), 7);
+        set_session_seed(DEFAULT_SEED);
+        assert_eq!(session_seed(), DEFAULT_SEED);
     }
 
     #[test]
