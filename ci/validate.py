@@ -9,7 +9,11 @@ same validations run locally:
     ci/validate.py golden tests/golden/fingerprints.txt
     ci/validate.py fleet fleet_j1.out fleet_j4.out ...  # determinism captures
     ci/validate.py traffic traffic_j1.out traffic_j4.out ...
+    ci/validate.py diskcache cold.out:cold.err warm.out:warm.err ...
     ci/validate.py selftest                      # the validators' own tests
+
+The diskcache kind takes stdout:stderr capture pairs from runs sharing one
+--result-cache-dir; the first pair is the cold run, the rest are warm.
 
 Exit status is non-zero on the first failed check, with the offending file
 and reason on stderr.
@@ -25,7 +29,10 @@ SPEEDUP_BARS = {
     "reach-bench-pr3-v1": 1.5,
     "reach-bench-pr4-v1": 1.4,
     "reach-bench-pr5-v1": 1.3,
+    "reach-bench-pr8-v1": 3.0,
 }
+
+DISK_CACHE_LINE = re.compile(r"(\d+) disk hit\(s\), (\d+) disk miss\(es\)")
 
 FINGERPRINT_LINE = re.compile(r"^([0-9a-f]{32}|-{32})  \S.*$")
 
@@ -72,6 +79,10 @@ def validate_metrics(doc):
         "cbir.cache_misses",
         "runner.result_cache_hits",
         "runner.result_cache_misses",
+        "runner.result_cache_disk_hits",
+        "runner.result_cache_disk_misses",
+        "runner.fleet_cache_hits",
+        "runner.fleet_cache_misses",
     ):
         require(key in proc, f"missing process counter {key}")
     return f"{len(scenarios)} scenario snapshot(s)"
@@ -187,6 +198,54 @@ def validate_traffic(captures):
     return f"{len(captures)} identical capture(s), {n} traffic rows"
 
 
+def validate_diskcache(pairs):
+    """Persistent-cache captures: (name, stdout, stderr) triples from
+    `experiments` or `sweep` runs sharing one --result-cache-dir. The first
+    triple is the cold run, the rest are warm. Stdout must be byte-identical
+    everywhere (the cache may only move the wall clock); the cold run must
+    have probed the disk and found nothing (misses > 0, hits == 0 on a fresh
+    directory); every warm run must have replayed *everything* from disk
+    (hits > 0, misses == 0 — zero simulations)."""
+    require(len(pairs) >= 2,
+            f"need a cold and at least one warm capture, got {len(pairs)}")
+
+    def cache_line(name, stderr_text):
+        m = DISK_CACHE_LINE.search(stderr_text)
+        require(m, f"{name}: no disk-cache ledger on stderr")
+        return int(m.group(1)), int(m.group(2))
+
+    (cold_name, cold_stdout, cold_stderr) = pairs[0]
+    cold_hits, cold_misses = cache_line(cold_name, cold_stderr)
+    require(cold_misses > 0, f"{cold_name}: cold run never probed the disk "
+            "tier (is --result-cache-dir set and the directory fresh?)")
+    require(cold_hits == 0,
+            f"{cold_name}: cold run hit a supposedly fresh store")
+    for name, stdout_text, stderr_text in pairs[1:]:
+        require(stdout_text == cold_stdout,
+                f"{name} stdout differs from {cold_name} — the persistent "
+                "cache changed the results")
+        hits, misses = cache_line(name, stderr_text)
+        require(misses == 0, f"{name}: warm run simulated {misses} "
+                "scenario(s) instead of replaying from disk")
+        require(hits > 0, f"{name}: warm run never hit the disk tier")
+    return (f"cold run stored {cold_misses} result(s), "
+            f"{len(pairs) - 1} warm run(s) replayed everything")
+
+
+def check_diskcache(paths):
+    pairs = []
+    for spec in paths:
+        out_path, sep, err_path = spec.partition(":")
+        require(sep == ":" and out_path and err_path,
+                f"expected STDOUT:STDERR capture pair, got {spec!r}")
+        with open(out_path, encoding="utf-8") as f:
+            stdout_text = f.read()
+        with open(err_path, encoding="utf-8") as f:
+            stderr_text = f.read()
+        pairs.append((out_path, stdout_text, stderr_text))
+    print(f"diskcache ok: {validate_diskcache(pairs)}")
+
+
 def check_captures(kind, validate, paths):
     captures = []
     for path in paths:
@@ -215,6 +274,9 @@ def selftest():
         "process": {"metrics": {
             "cbir.cache_hits": 1, "cbir.cache_misses": 2,
             "runner.result_cache_hits": 3, "runner.result_cache_misses": 4,
+            "runner.result_cache_disk_hits": 0,
+            "runner.result_cache_disk_misses": 0,
+            "runner.fleet_cache_hits": 0, "runner.fleet_cache_misses": 10,
         }},
     }
     validate_metrics(good_metrics)
@@ -267,6 +329,10 @@ def selftest():
     bad = json.loads(json.dumps(good_metrics))
     del bad["process"]["metrics"]["runner.result_cache_hits"]
     rejects(validate_metrics, bad, "missing result-cache counter")
+
+    bad = json.loads(json.dumps(good_metrics))
+    del bad["process"]["metrics"]["runner.result_cache_disk_hits"]
+    rejects(validate_metrics, bad, "missing disk-cache counter")
 
     bad = json.loads(json.dumps(good_metrics))
     bad["scenarios"] = []
@@ -322,11 +388,38 @@ def selftest():
     rejects(validate_traffic, [("j1", "no header"), ("j4", "no header")],
             "a capture without the traffic header")
 
+    bad = dict(good_record, schema="reach-bench-pr8-v1",
+               after={"wall_s": 0.12}, speedup=2.5)
+    rejects(validate_bench, bad, "pr8 speedup below the 3.0x bar")
+
+    rows = "sweep/ReACH/nm4-ns4\nmakespan 1.000ms\n"
+    cold = ("cold", rows, "(result cache: 0 mem hit(s), 1 mem miss(es), "
+            "0 disk hit(s), 1 disk miss(es))")
+    warm = ("warm", rows, "(result cache: 0 mem hit(s), 1 mem miss(es), "
+            "1 disk hit(s), 0 disk miss(es))")
+    validate_diskcache([cold, warm, warm])
+
+    rejects(validate_diskcache, [cold], "a cold capture with no warm runs")
+    rejects(validate_diskcache, [cold, ("warm", rows + "drift", warm[2])],
+            "a warm run whose stdout drifted")
+    rejects(validate_diskcache, [cold, ("warm", rows, cold[2])],
+            "a warm run that simulated (nonzero disk misses)")
+    rejects(validate_diskcache,
+            [cold, ("warm", rows, "ran 1 scenario(s) in 0.1s")],
+            "a warm run with no cache ledger on stderr")
+    rejects(validate_diskcache, [("cold", rows, warm[2]), warm],
+            "a cold run that hit a supposedly fresh store")
+    rejects(validate_diskcache,
+            [("cold", rows, "(result cache: 1 mem hit(s), 0 mem miss(es), "
+              "0 disk hit(s), 0 disk miss(es))"), warm],
+            "a cold run that never probed the disk tier")
+
     print("selftest ok: all validators accept good and reject bad inputs")
 
 
 def main(argv):
-    kinds = ("metrics", "bench", "golden", "fleet", "traffic", "selftest")
+    kinds = ("metrics", "bench", "golden", "fleet", "traffic", "diskcache",
+             "selftest")
     if len(argv) < 2 or argv[1] not in kinds:
         print(__doc__, file=sys.stderr)
         return 2
@@ -338,6 +431,13 @@ def main(argv):
     if not paths:
         print(f"{kind}: no files given", file=sys.stderr)
         return 2
+    if kind == "diskcache":
+        try:
+            check_diskcache(paths)
+        except (ValidationError, OSError) as e:
+            print(f"{kind}: {e}", file=sys.stderr)
+            return 1
+        return 0
     if kind in ("fleet", "traffic"):
         validate = {"fleet": validate_fleet, "traffic": validate_traffic}[kind]
         try:

@@ -9,12 +9,14 @@
 
 use crate::queries::ScanQuery;
 use crate::templates::{analytics_blueprint, analytics_registry};
+use reach::fingerprint::ConfigFingerprint;
 use reach::{
     FnScenario, Level, Pipeline, ReachConfig, Scenario, ScenarioExecutor, SequentialExecutor,
     StreamType, TaskWork,
 };
+use reach_cbir::pipeline::CbirStage;
 use reach_cbir::{CbirMapping, CbirPipeline, CbirWorkload};
-use reach_sim::SimDuration;
+use reach_sim::{FingerprintBuilder, SimDuration};
 
 /// Results of the co-run experiment.
 #[derive(Clone, Debug)]
@@ -110,33 +112,59 @@ pub fn co_run_interference_with(
     let cbir = CbirPipeline::new(CbirWorkload::paper_setup(), CbirMapping::Proper);
     let query = *query;
 
+    // Vouched fingerprints for the closures below. Each closure's report is
+    // fully determined by the blueprint, the two compiled pipelines, the
+    // CBIR batch count and the session seed; the scan job-id base (512) is
+    // a constant covered by the domain string. Digesting all of them for
+    // every tag over-keys the two "alone" points slightly, which costs
+    // nothing (the suite never varies one input while expecting the others
+    // to hit) and can never under-key.
+    let cbir_compiled = cbir.compile(blueprint.config(), blueprint.registry(), &CbirStage::ALL);
+    let scan_p = scan_pipeline(&query, shards);
+    let seed = reach_sim::rng::session_seed();
+    let vouch = |tag: &str| {
+        let mut b = FingerprintBuilder::new("reach-corun-v1");
+        b.write_str(tag);
+        blueprint.fingerprint().write_into(&mut b);
+        cbir_compiled.fingerprint().write_into(&mut b);
+        scan_p.fingerprint().write_into(&mut b);
+        b.write_usize(cbir_batches);
+        b.write_u64(seed);
+        ConfigFingerprint::from_builder(b)
+    };
+
     let scenarios: Vec<Box<dyn Scenario>> = vec![
-        Box::new(FnScenario::new(
-            "corun/cbir-alone",
-            blueprint.clone(),
-            move |machine| cbir.run(machine, cbir_batches),
-        )),
-        Box::new(FnScenario::new(
-            "corun/scan-alone",
-            blueprint.clone(),
-            move |machine| scan_pipeline(&query, shards).run(machine, 1),
-        )),
-        Box::new(FnScenario::new(
-            "corun/shared",
-            blueprint.clone(),
-            // Shared run: submit both tenants' jobs up front.
-            move |machine| {
-                let cbir_p = cbir.build(machine);
-                for batch in 0..cbir_batches {
-                    let (job, works) = cbir_p.job_for_batch(batch as u64);
-                    machine.submit(job, works);
-                }
-                let scan_p = scan_pipeline(&query, shards);
-                let (scan_job, scan_works) = scan_p.job_for_batch(512);
-                machine.submit(scan_job, scan_works);
-                machine.run()
-            },
-        )),
+        Box::new(
+            FnScenario::new("corun/cbir-alone", blueprint.clone(), move |machine| {
+                cbir.run(machine, cbir_batches)
+            })
+            .with_fingerprint(vouch("cbir-alone")),
+        ),
+        Box::new(
+            FnScenario::new("corun/scan-alone", blueprint.clone(), move |machine| {
+                scan_pipeline(&query, shards).run(machine, 1)
+            })
+            .with_fingerprint(vouch("scan-alone")),
+        ),
+        Box::new(
+            FnScenario::new(
+                "corun/shared",
+                blueprint.clone(),
+                // Shared run: submit both tenants' jobs up front.
+                move |machine| {
+                    let cbir_p = cbir.build(machine);
+                    for batch in 0..cbir_batches {
+                        let (job, works) = cbir_p.job_for_batch(batch as u64);
+                        machine.submit(job, works);
+                    }
+                    let scan_p = scan_pipeline(&query, shards);
+                    let (scan_job, scan_works) = scan_p.job_for_batch(512);
+                    machine.submit(scan_job, scan_works);
+                    machine.run()
+                },
+            )
+            .with_fingerprint(vouch("shared")),
+        ),
     ];
     let results = executor.run_all(scenarios);
     let [cbir_alone_r, scan_alone_r, shared] = &results[..] else {

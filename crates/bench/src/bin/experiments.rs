@@ -18,6 +18,12 @@
 //! disables it and `--result-cache-policy fifo|lru` picks the eviction
 //! policy (default fifo). Stdout is byte-identical either way.
 //!
+//! `--result-cache-dir PATH` backs the cache with a persistent on-disk
+//! store keyed by fingerprint + simulator build stamp, so a *second
+//! process* replays previously simulated scenarios too (a warm run of the
+//! full suite performs zero simulations). `--no-disk-cache` keeps the flag
+//! parsed but inert. Stdout is byte-identical cold or warm.
+//!
 //! `--seed N` overrides the session RNG seed (default
 //! `reach_sim::rng::DEFAULT_SEED`) for every stochastic scenario — traffic
 //! arrival processes, noisy sweeps. The seed is part of each scenario's
@@ -146,15 +152,28 @@ fn main() -> ExitCode {
     let (cache_hits, cache_misses) = reach_cbir::cache::cache_stats();
     eprintln!("cbir distance cache: {cache_hits} hit(s), {cache_misses} miss(es)");
     let result_cache = runner.cache_stats();
+    let disk_cache = runner.disk_cache_stats();
+    let fleet_cache = runner.fleet_cache_stats();
+    // All four scenario-cache counters on one line, so a warm run is
+    // visible without opening the metrics JSON.
     eprintln!(
-        "scenario result cache: {} hit(s), {} miss(es){}",
+        "scenario result cache: {} mem hit(s), {} mem miss(es), \
+         {} disk hit(s), {} disk miss(es){}",
         result_cache.hits,
         result_cache.misses,
+        disk_cache.hits,
+        disk_cache.misses,
         if parsed.common.no_result_cache {
             " (disabled)"
+        } else if !runner.disk_cache_enabled() {
+            " (no disk tier)"
         } else {
             ""
         }
+    );
+    eprintln!(
+        "fleet result cache: {} hit(s), {} miss(es)",
+        fleet_cache.hits, fleet_cache.misses
     );
 
     if let Some(path) = metrics_path {
@@ -163,6 +182,10 @@ fn main() -> ExitCode {
         process.set_counter("cbir.cache_misses", cache_misses);
         process.set_counter("runner.result_cache_hits", result_cache.hits);
         process.set_counter("runner.result_cache_misses", result_cache.misses);
+        process.set_counter("runner.result_cache_disk_hits", disk_cache.hits);
+        process.set_counter("runner.result_cache_disk_misses", disk_cache.misses);
+        process.set_counter("runner.fleet_cache_hits", fleet_cache.hits);
+        process.set_counter("runner.fleet_cache_misses", fleet_cache.misses);
         let doc = reach_bench::run_metrics_json(&captured, Some(&process));
         if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("failed to write {path}: {e}");

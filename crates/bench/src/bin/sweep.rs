@@ -30,7 +30,7 @@ fn main() -> ExitCode {
                 "usage: sweep [--nm N[,N..]] [--ns N[,N..]] [--batches N] [--batch-size N] \
                  [--candidates N] [--mapping onchip|near-mem|near-stor|proper] [--sequential] \
                  [--jobs N] [--seed N] [--metrics-dir DIR] [--repeat N] [--no-result-cache] \
-                 [--result-cache-policy fifo|lru]"
+                 [--result-cache-policy fifo|lru] [--result-cache-dir PATH] [--no-disk-cache]"
             );
             return ExitCode::FAILURE;
         }
@@ -76,17 +76,23 @@ fn main() -> ExitCode {
         eprintln!("wrote {} telemetry CSV(s) to {dir}", results.len());
     }
     let stats = runner.cache_stats();
+    let disk = runner.disk_cache_stats();
     eprintln!(
         "ran {} scenario(s) x {} pass(es) with {} job(s) in {:.2}s \
-         (result cache: {} hit(s), {} miss(es){})",
+         (result cache: {} mem hit(s), {} mem miss(es), \
+         {} disk hit(s), {} disk miss(es){})",
         results.len(),
         args.repeat,
         args.common.jobs,
         started.elapsed().as_secs_f64(),
         stats.hits,
         stats.misses,
+        disk.hits,
+        disk.misses,
         if args.common.no_result_cache {
             ", disabled"
+        } else if !runner.disk_cache_enabled() {
+            ", no disk tier"
         } else {
             ""
         }

@@ -26,6 +26,12 @@ pub struct CommonRunnerArgs {
     /// [`reach_sim::rng::DEFAULT_SEED`]. Covered by every scenario
     /// fingerprint, so cached results never leak across seeds.
     pub seed: Option<u64>,
+    /// Directory of the persistent result cache (`--result-cache-dir
+    /// PATH`); `None` keeps the cache in-memory only.
+    pub result_cache_dir: Option<String>,
+    /// Keep `--result-cache-dir` parsed but inert (`--no-disk-cache`) —
+    /// the escape hatch when a wrapper script always passes the dir.
+    pub no_disk_cache: bool,
 }
 
 impl Default for CommonRunnerArgs {
@@ -35,6 +41,8 @@ impl Default for CommonRunnerArgs {
             no_result_cache: false,
             result_cache_policy: EvictionPolicy::Fifo,
             seed: None,
+            result_cache_dir: None,
+            no_disk_cache: false,
         }
     }
 }
@@ -71,6 +79,17 @@ impl CommonRunnerArgs {
                 };
             }
             "--no-result-cache" => self.no_result_cache = true,
+            "--no-disk-cache" => self.no_disk_cache = true,
+            "--result-cache-dir" => {
+                self.result_cache_dir = match it.next() {
+                    Some(p) if !p.is_empty() => Some(p.clone()),
+                    _ => {
+                        return Err(ParseArgsError(
+                            "--result-cache-dir needs a directory path".into(),
+                        ))
+                    }
+                };
+            }
             "--result-cache-policy" => {
                 self.result_cache_policy = match it.next().map(|v| EvictionPolicy::parse(v)) {
                     Some(Some(p)) => p,
@@ -87,13 +106,20 @@ impl CommonRunnerArgs {
     }
 
     /// The runner these flags select: `jobs` workers, result cache on
-    /// (with the chosen eviction policy) unless `--no-result-cache`.
+    /// (with the chosen eviction policy) unless `--no-result-cache`, and
+    /// the persistent disk tier attached when `--result-cache-dir` is set
+    /// (and neither `--no-disk-cache` nor `--no-result-cache` vetoes it —
+    /// the disk tier backs the in-memory cache, so disabling the cache
+    /// disables persistence too).
     #[must_use]
     pub fn runner(&self) -> ScenarioRunner {
         if self.no_result_cache {
-            ScenarioRunner::without_cache(self.jobs)
-        } else {
-            ScenarioRunner::with_cache_policy(self.jobs, self.result_cache_policy)
+            return ScenarioRunner::without_cache(self.jobs);
+        }
+        let runner = ScenarioRunner::with_cache_policy(self.jobs, self.result_cache_policy);
+        match &self.result_cache_dir {
+            Some(dir) if !self.no_disk_cache => runner.with_disk_cache(std::path::Path::new(dir)),
+            _ => runner,
         }
     }
 
@@ -292,5 +318,49 @@ mod tests {
             .common
             .runner()
             .cache_enabled());
+    }
+
+    #[test]
+    fn result_cache_dir_parses_and_requires_a_path() {
+        let a = parse(&["--result-cache-dir", "/tmp/reach-cache"]).unwrap();
+        assert_eq!(
+            a.common.result_cache_dir.as_deref(),
+            Some("/tmp/reach-cache")
+        );
+        assert!(!a.common.no_disk_cache);
+        let err = parse(&["--result-cache-dir"]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("--result-cache-dir needs a directory path"),
+            "unhelpful message: {err}"
+        );
+        assert!(parse(&["--result-cache-dir", ""]).is_err());
+    }
+
+    #[test]
+    fn disk_tier_attaches_only_when_asked_and_not_vetoed() {
+        let dir = std::env::temp_dir().join(format!("reach-cli-disk-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap();
+        // No dir: memory-only.
+        assert!(!parse(&[]).unwrap().common.runner().disk_cache_enabled());
+        // Dir given: disk tier on.
+        let on = parse(&["--result-cache-dir", dir_s])
+            .unwrap()
+            .common
+            .runner();
+        assert!(on.cache_enabled() && on.disk_cache_enabled());
+        // --no-disk-cache vetoes persistence but keeps the memory tier.
+        let vetoed = parse(&["--result-cache-dir", dir_s, "--no-disk-cache"])
+            .unwrap()
+            .common
+            .runner();
+        assert!(vetoed.cache_enabled() && !vetoed.disk_cache_enabled());
+        // --no-result-cache disables both tiers.
+        let off = parse(&["--result-cache-dir", dir_s, "--no-result-cache"])
+            .unwrap()
+            .common
+            .runner();
+        assert!(!off.cache_enabled() && !off.disk_cache_enabled());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

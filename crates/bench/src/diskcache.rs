@@ -1,0 +1,458 @@
+//! The persistent tier of the scenario-result cache.
+//!
+//! [`DiskCache`] extends the in-memory [`crate::ResultCache`] across
+//! processes: every stored [`RunReport`] is serialized with the versioned
+//! codec in `reach::codec` and appended to a single store file under the
+//! `--result-cache-dir` directory. A warm process replays whole suites
+//! without simulating anything.
+//!
+//! ## On-disk format (`reach-diskcache-v1`)
+//!
+//! ```text
+//! magic   b"reach-diskcache-v1\n"
+//! stamp   u128 LE   — reach::simulator_version_stamp()
+//! record* [len u32 LE][checksum u64 LE][payload]
+//!         payload = [fingerprint u128 LE][encoded RunReport]
+//!         checksum = reach_sim::checksum64(payload)
+//! ```
+//!
+//! The stamp makes invalidation trivial and total: a store written by any
+//! other build of the simulator (different workspace version, different
+//! codec revision, or simply a rebuilt executable) is discarded wholesale.
+//! Re-simulating after a rebuild is cheap; replaying a stale report never
+//! is.
+//!
+//! ## Robustness contract
+//!
+//! Nothing on this path may panic or change results: a missing, truncated,
+//! corrupt, wrong-magic, wrong-stamp, or unwritable store degrades to
+//! "every lookup misses", with a single warning on stderr per failure
+//! class. Partial corruption keeps the valid record prefix (the framing is
+//! length-prefixed and checksummed, so a torn tail write cannot poison
+//! earlier records). Writes go to a temporary file in the same directory
+//! and land via atomic rename, so a crashed or concurrent process can tear
+//! the *tail* of a store but never leave a half-renamed one.
+
+use reach::{decode_report, encode_report, simulator_version_stamp, RunReport};
+use reach_sim::checksum64;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Leading magic of the store file; doubles as the format version.
+pub const DISKCACHE_MAGIC: &[u8] = b"reach-diskcache-v1\n";
+
+/// Name of the store file inside the cache directory.
+pub const DISKCACHE_FILE: &str = "results.reach-diskcache";
+
+/// Hit/miss counters of the disk tier. Like the in-memory
+/// [`crate::CacheStats`], counting is the *runner's* policy — lookups
+/// themselves never count, so the ledger stays identical at any job count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that fell through to simulation.
+    pub misses: u64,
+}
+
+/// A persistent fingerprint-to-report store with fail-open semantics.
+///
+/// Not internally synchronized: the runner guards it with a mutex and only
+/// touches it from the sequential resolution/assembly phases, which is
+/// what keeps disk accounting byte-identical across `--jobs` levels.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    stamp: u128,
+    /// Decoded-on-demand payloads: fingerprint → encoded report.
+    entries: HashMap<u128, Vec<u8>>,
+    /// Insertion order, so a rewritten store lays records out stably.
+    order: Vec<u128>,
+    /// Entries added since the last successful flush.
+    dirty: bool,
+    /// Cleared after the first failed flush so an unwritable directory
+    /// warns once, not once per batch.
+    writable: bool,
+    hits: u64,
+    misses: u64,
+}
+
+fn warn(path: &Path, what: &str) {
+    eprintln!("warning: disk cache {}: {what}", path.display());
+}
+
+impl DiskCache {
+    /// Opens (or initializes) the store under `dir`, keyed to the running
+    /// simulator build. Never fails: any problem — unreadable file, bad
+    /// magic, foreign stamp, torn tail — degrades to an empty or truncated
+    /// store with one stderr warning.
+    #[must_use]
+    pub fn open(dir: &Path) -> Self {
+        Self::open_with_stamp(dir, simulator_version_stamp().0)
+    }
+
+    /// [`DiskCache::open`] with an explicit version stamp — the test seam
+    /// for simulating "a different build wrote this store" without
+    /// rebuilding the binary.
+    #[must_use]
+    pub fn open_with_stamp(dir: &Path, stamp: u128) -> Self {
+        let path = dir.join(DISKCACHE_FILE);
+        let mut cache = DiskCache {
+            path,
+            stamp,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            dirty: false,
+            writable: true,
+            hits: 0,
+            misses: 0,
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            warn(&cache.path, &format!("cannot create directory ({e})"));
+            cache.writable = false;
+        }
+        cache.load();
+        cache
+    }
+
+    fn load(&mut self) {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+            Err(e) => {
+                warn(&self.path, &format!("unreadable, starting empty ({e})"));
+                return;
+            }
+        };
+        if bytes.len() < DISKCACHE_MAGIC.len() + 16
+            || &bytes[..DISKCACHE_MAGIC.len()] != DISKCACHE_MAGIC
+        {
+            warn(&self.path, "unrecognized format, starting empty");
+            return;
+        }
+        let mut pos = DISKCACHE_MAGIC.len();
+        let stored_stamp = u128::from_le_bytes(bytes[pos..pos + 16].try_into().expect("16 bytes"));
+        pos += 16;
+        if stored_stamp != self.stamp {
+            warn(
+                &self.path,
+                "written by a different simulator build, starting empty",
+            );
+            // The next flush overwrites the foreign store with this
+            // build's stamp; leave `dirty` false so an all-miss read-only
+            // run does not rewrite it for nothing.
+            return;
+        }
+        // Records: keep the longest valid prefix; stop at the first tear.
+        while pos < bytes.len() {
+            let Some(frame) = bytes.get(pos..pos + 12) else {
+                warn(&self.path, "truncated record header, keeping valid prefix");
+                return;
+            };
+            let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+            let checksum = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+            let Some(payload) = bytes.get(pos + 12..pos + 12 + len) else {
+                warn(&self.path, "truncated record, keeping valid prefix");
+                return;
+            };
+            if len < 16 || checksum64(payload) != checksum {
+                warn(&self.path, "corrupt record, keeping valid prefix");
+                return;
+            }
+            let fp = u128::from_le_bytes(payload[..16].try_into().expect("16 bytes"));
+            if self.entries.insert(fp, payload[16..].to_vec()).is_none() {
+                self.order.push(fp);
+            }
+            pos += 12 + len;
+        }
+    }
+
+    /// Looks up a fingerprint, decoding the stored report. A record whose
+    /// payload no longer decodes (possible only if corruption defeats the
+    /// checksum) is dropped and treated as absent.
+    #[must_use]
+    pub fn get(&mut self, fp: u128) -> Option<RunReport> {
+        let payload = self.entries.get(&fp)?;
+        match decode_report(payload) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                warn(&self.path, &format!("undecodable record dropped ({e})"));
+                self.entries.remove(&fp);
+                self.order.retain(|&k| k != fp);
+                None
+            }
+        }
+    }
+
+    /// Stores a report under `fp`. First write wins (the runner only
+    /// inserts after a miss, so a duplicate insert means a replay raced a
+    /// simulation — keep the bytes already persisted).
+    pub fn insert(&mut self, fp: u128, report: &RunReport) {
+        if self.entries.contains_key(&fp) {
+            return;
+        }
+        self.entries.insert(fp, encode_report(report));
+        self.order.push(fp);
+        self.dirty = true;
+    }
+
+    /// Rewrites the store if anything was inserted since the last flush.
+    /// Uses write-to-temp + atomic rename; a failure warns once and
+    /// disables further write attempts (reads keep working).
+    pub fn flush(&mut self) {
+        if !self.dirty || !self.writable {
+            return;
+        }
+        match self.try_flush() {
+            Ok(()) => self.dirty = false,
+            Err(e) => {
+                warn(
+                    &self.path,
+                    &format!("not writable, results will not persist ({e})"),
+                );
+                self.writable = false;
+            }
+        }
+    }
+
+    fn try_flush(&self) -> std::io::Result<()> {
+        // Temp name includes the pid so concurrent processes flushing the
+        // same directory never interleave partial writes; rename keeps the
+        // store itself atomic (last full write wins).
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(DISKCACHE_MAGIC)?;
+        f.write_all(&self.stamp.to_le_bytes())?;
+        for fp in &self.order {
+            let report = &self.entries[fp];
+            let mut payload = Vec::with_capacity(16 + report.len());
+            payload.extend_from_slice(&fp.to_le_bytes());
+            payload.extend_from_slice(report);
+            f.write_all(&(payload.len() as u32).to_le_bytes())?;
+            f.write_all(&checksum64(&payload).to_le_bytes())?;
+            f.write_all(&payload)?;
+        }
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Counts one disk hit (the runner's sequential resolution phase).
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Counts one disk miss.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Hit/miss counters so far.
+    #[must_use]
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Number of reports currently held (loaded + inserted).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The store file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach::{MetricsSnapshot, SimDuration, SimTime};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "reach-diskcache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn report(jobs: u64) -> RunReport {
+        RunReport {
+            makespan: SimDuration::from_ps(1_000_000),
+            jobs,
+            job_latency_mean: SimDuration::from_ps(1_000_000 / jobs.max(1)),
+            job_latency_last: SimDuration::from_ps(900_000),
+            stages: Vec::new(),
+            ledger: reach::EnergyLedger::new(),
+            gam: Default::default(),
+            completions: vec![SimTime::from_ps(1_000_000)],
+            metrics: MetricsSnapshot::new(1_000_000),
+        }
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut cache = DiskCache::open_with_stamp(&dir, 42);
+        assert!(cache.is_empty());
+        cache.insert(1, &report(1));
+        cache.insert(2, &report(2));
+        cache.flush();
+
+        let mut reopened = DiskCache::open_with_stamp(&dir, 42);
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get(1).expect("fp 1").jobs, 1);
+        assert_eq!(reopened.get(2).expect("fp 2").jobs, 2);
+        assert!(reopened.get(3).is_none());
+        // Byte-exactness witness: the stored payload re-encodes to itself.
+        let r = reopened.get(2).expect("fp 2");
+        assert_eq!(
+            reach::encode_report(&r),
+            reach::encode_report(&report(2)),
+            "persisted report drifted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_stamp_discards_the_store() {
+        let dir = temp_dir("stale");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        cache.insert(7, &report(7));
+        cache.flush();
+        // A "different build" opens the same directory: everything misses.
+        let mut other = DiskCache::open_with_stamp(&dir, 2);
+        assert!(other.is_empty());
+        assert!(other.get(7).is_none());
+        // And once the new build flushes, its stamp owns the store.
+        other.insert(8, &report(8));
+        other.flush();
+        let mut back = DiskCache::open_with_stamp(&dir, 2);
+        assert_eq!(back.len(), 1);
+        assert!(back.get(8).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_magic_starts_empty_without_destroying_until_flush() {
+        let dir = temp_dir("magic");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(DISKCACHE_FILE), b"not a reach store").unwrap();
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+        // No insert happened, so the foreign file is left untouched.
+        cache.flush();
+        assert_eq!(
+            std::fs::read(dir.join(DISKCACHE_FILE)).unwrap(),
+            b"not a reach store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_valid_prefix() {
+        let dir = temp_dir("trunc");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        cache.insert(1, &report(1));
+        cache.insert(2, &report(2));
+        cache.flush();
+        let path = dir.join(DISKCACHE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop into the middle of the second record.
+        std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        assert_eq!(cache.len(), 1, "valid prefix survives");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        let dir = temp_dir("flip");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        cache.insert(1, &report(1));
+        cache.flush();
+        let path = dir.join(DISKCACHE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = DISKCACHE_MAGIC.len() + 16 + 12 + 20; // inside record payload
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        assert!(cache.is_empty(), "corrupt record must not load");
+        assert!(cache.get(1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_directory_degrades_gracefully() {
+        let missing = PathBuf::from("/proc/definitely-not-writable/reach-cache");
+        let mut cache = DiskCache::open(&missing);
+        assert!(cache.is_empty());
+        cache.insert(1, &report(1));
+        cache.flush(); // warns, does not panic
+        assert!(cache.get(1).is_some(), "in-memory view still serves");
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_bytes() {
+        let dir = temp_dir("dup");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        cache.insert(1, &report(1));
+        cache.insert(1, &report(99));
+        assert_eq!(cache.get(1).expect("fp 1").jobs, 1);
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_is_idempotent_and_lazy() {
+        let dir = temp_dir("lazy");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        cache.flush(); // nothing to write: no file appears
+        assert!(!dir.join(DISKCACHE_FILE).exists());
+        cache.insert(1, &report(1));
+        cache.flush();
+        let first = std::fs::metadata(dir.join(DISKCACHE_FILE))
+            .unwrap()
+            .modified()
+            .unwrap();
+        cache.flush(); // clean: no rewrite
+        let second = std::fs::metadata(dir.join(DISKCACHE_FILE))
+            .unwrap()
+            .modified()
+            .unwrap();
+        assert_eq!(first, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_count_what_the_caller_records() {
+        let dir = temp_dir("stats");
+        let mut cache = DiskCache::open_with_stamp(&dir, 1);
+        assert_eq!(cache.stats(), DiskCacheStats::default());
+        cache.record_hit();
+        cache.record_miss();
+        cache.record_miss();
+        assert_eq!(cache.stats(), DiskCacheStats { hits: 1, misses: 2 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,12 +15,14 @@
 
 pub mod cache;
 pub mod cli;
+pub mod diskcache;
 pub mod export;
 pub mod runner;
 pub mod sweep;
 
 pub use cache::{CacheStats, EvictionPolicy, ResultCache};
 pub use cli::{CommonRunnerArgs, ExperimentsArgs};
+pub use diskcache::{DiskCache, DiskCacheStats};
 pub use export::{
     bench_report_json, label_file_stem, run_metrics_json, scenario_metrics_json, BenchEntry,
 };
@@ -346,15 +348,17 @@ pub fn render_ablation_rerank_home(executor: &dyn ScenarioExecutor) -> String {
     )
 }
 
-/// Renders the recall-vs-compression extension experiment.
+/// Renders the recall-vs-compression extension experiment. The evaluation
+/// runs as one cacheable scenario, so a warm process replays it from the
+/// persistent result cache instead of re-training every codec.
 #[must_use]
-pub fn render_extension_recall(_executor: &dyn ScenarioExecutor) -> String {
+pub fn render_extension_recall(executor: &dyn ScenarioExecutor) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
         "EXTENSION. RECALL VS COMPRESSION (Section IV-A's argument, executed)"
     );
-    for r in exp::recall_vs_compression() {
+    for r in exp::recall_vs_compression_with(executor) {
         let _ = writeln!(s, "  {r}");
     }
     let _ = writeln!(

@@ -29,11 +29,14 @@
 //! force every scenario to simulate.
 
 use crate::cache::{CacheStats, EvictionPolicy, ResultCache};
+use crate::diskcache::{DiskCache, DiskCacheStats};
+use reach::fleet::FleetScenario;
 use reach::{
     ConfigFingerprint, MetricsSnapshot, RunReport, Scenario, ScenarioExecutor, ScenarioResult,
 };
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// How the sequential fingerprint pass resolved one scenario.
@@ -49,11 +52,22 @@ enum Slot {
 }
 
 /// A work-stealing, order-preserving executor over OS threads, with a
-/// scenario-result cache in front of the simulator.
+/// two-tier scenario-result cache in front of the simulator: the
+/// in-memory [`ResultCache`], optionally backed by a persistent
+/// [`DiskCache`] (`--result-cache-dir`). Lookup order is memory →
+/// in-batch leader → disk → simulate; both tiers are consulted and filled
+/// only from the sequential phases, so their ledgers are identical at any
+/// job count.
 #[derive(Clone, Debug)]
 pub struct ScenarioRunner {
     jobs: usize,
     cache: Option<Arc<ResultCache>>,
+    disk: Option<Arc<Mutex<DiskCache>>>,
+    /// Fleet-level aggregated-report cache ledger (`run_fleets` consults
+    /// the same two tiers under fleet fingerprints; these counters keep
+    /// that accounting separate from the shard-level ledger).
+    fleet_hits: Arc<AtomicU64>,
+    fleet_misses: Arc<AtomicU64>,
 }
 
 impl ScenarioRunner {
@@ -69,6 +83,9 @@ impl ScenarioRunner {
         ScenarioRunner {
             jobs,
             cache: Some(Arc::new(ResultCache::new())),
+            disk: None,
+            fleet_hits: Arc::new(AtomicU64::new(0)),
+            fleet_misses: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -104,6 +121,28 @@ impl ScenarioRunner {
         }
     }
 
+    /// Attaches the persistent disk tier rooted at `dir` (the
+    /// `--result-cache-dir` flag). The store is keyed to the running
+    /// simulator build via [`reach::simulator_version_stamp`]; opening a
+    /// foreign, corrupt, or unwritable store degrades to an empty one with
+    /// a stderr warning — never an error. The disk tier is only consulted
+    /// when the in-memory cache is enabled (it backs that cache; with
+    /// `--no-result-cache` nothing is looked up or stored at all).
+    #[must_use]
+    pub fn with_disk_cache(mut self, dir: &Path) -> Self {
+        self.disk = Some(Arc::new(Mutex::new(DiskCache::open(dir))));
+        self
+    }
+
+    /// [`ScenarioRunner::with_disk_cache`] over an already-opened store —
+    /// the test seam for injecting a [`DiskCache`] with a foreign version
+    /// stamp.
+    #[must_use]
+    pub fn with_disk_cache_store(mut self, store: DiskCache) -> Self {
+        self.disk = Some(Arc::new(Mutex::new(store)));
+        self
+    }
+
     /// The configured worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
@@ -123,6 +162,69 @@ impl ScenarioRunner {
             .as_deref()
             .map(ResultCache::stats)
             .unwrap_or_default()
+    }
+
+    /// Whether a persistent disk tier is attached.
+    #[must_use]
+    pub fn disk_cache_enabled(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Hit/miss counters of the disk tier (all zero when absent). When
+    /// attached, every in-memory miss — shard-level (counted in
+    /// [`ScenarioRunner::cache_stats`]) or fleet-level (counted in
+    /// [`ScenarioRunner::fleet_cache_stats`]) — falls through to exactly
+    /// one disk lookup.
+    #[must_use]
+    pub fn disk_cache_stats(&self) -> DiskCacheStats {
+        self.disk
+            .as_ref()
+            .map(|d| d.lock().expect("disk cache poisoned").stats())
+            .unwrap_or_default()
+    }
+
+    /// Hit/miss counters of the fleet-level aggregated-report cache
+    /// (all zero when the cache is disabled or no fleets ran).
+    #[must_use]
+    pub fn fleet_cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.fleet_hits.load(Ordering::Relaxed),
+            misses: self.fleet_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks `fp` up in the disk tier, counting a hit or miss. `None`
+    /// when no disk tier is attached (nothing is counted).
+    fn disk_lookup(&self, fp: ConfigFingerprint) -> Option<RunReport> {
+        let disk = self.disk.as_ref()?;
+        let mut disk = disk.lock().expect("disk cache poisoned");
+        match disk.get(fp.as_u128()) {
+            Some(report) => {
+                disk.record_hit();
+                Some(report)
+            }
+            None => {
+                disk.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly simulated report in the disk tier, if attached.
+    fn disk_store(&self, fp: ConfigFingerprint, report: &RunReport) {
+        if let Some(disk) = &self.disk {
+            disk.lock()
+                .expect("disk cache poisoned")
+                .insert(fp.as_u128(), report);
+        }
+    }
+
+    /// Persists any new disk-tier entries (atomic rename; warns once and
+    /// degrades on failure).
+    fn disk_flush(&self) {
+        if let Some(disk) = &self.disk {
+            disk.lock().expect("disk cache poisoned").flush();
+        }
     }
 
     /// Executes the scenarios at `indices` (into `scenarios`), returning
@@ -168,8 +270,11 @@ impl ScenarioExecutor for ScenarioRunner {
         let n = scenarios.len();
 
         // Phase 1 (sequential, submission order): resolve every scenario
-        // against the cache. Sequencing this phase is what makes the
-        // hit/miss counters and the cache contents independent of `jobs`.
+        // against both cache tiers. Sequencing this phase is what makes
+        // the hit/miss counters and the cache contents independent of
+        // `jobs`. A memory miss falls through to the disk tier; a disk hit
+        // also fills the memory tier, so later in-batch duplicates resolve
+        // as ordinary memory hits.
         let mut slots: Vec<Slot> = Vec::with_capacity(n);
         match &self.cache {
             None => slots.extend((0..n).map(|_| Slot::Run)),
@@ -187,8 +292,13 @@ impl ScenarioExecutor for ScenarioRunner {
                                 Slot::Follow(leader)
                             } else {
                                 cache.record_miss();
-                                leaders.insert(fp, i);
-                                Slot::Lead(fp)
+                                if let Some(report) = self.disk_lookup(fp) {
+                                    cache.insert(fp, report.clone());
+                                    Slot::Replay(report)
+                                } else {
+                                    leaders.insert(fp, i);
+                                    Slot::Lead(fp)
+                                }
                             }
                         }
                     });
@@ -206,8 +316,8 @@ impl ScenarioExecutor for ScenarioRunner {
         let mut reports = self.execute_subset(&scenarios, &to_run);
 
         // Phase 3 (sequential, submission order): assemble results, store
-        // leader reports, clone them for in-batch followers.
-        slots
+        // leader reports in both tiers, clone them for in-batch followers.
+        let results = slots
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
@@ -218,6 +328,7 @@ impl ScenarioExecutor for ScenarioRunner {
                         if let Some(cache) = &self.cache {
                             cache.insert(fp, report.clone());
                         }
+                        self.disk_store(fp, &report);
                         report
                     }
                     // Leaders always precede their followers, so the
@@ -232,7 +343,100 @@ impl ScenarioExecutor for ScenarioRunner {
                     report,
                 }
             })
-            .collect()
+            .collect();
+        self.disk_flush();
+        results
+    }
+
+    /// Fleet batches resolve through the same two-tier cache at *fleet*
+    /// granularity before any shard expands: a fleet whose aggregated
+    /// report is already cached (under its [`FleetScenario`] fingerprint)
+    /// replays it outright — no shard scenarios, no shard lookups. Only
+    /// missed fleets expand, through [`ScenarioExecutor::run_all`] as one
+    /// flat batch, so shard-level caching and thread fan-out still apply
+    /// within a cold run; their aggregated reports are then stored in both
+    /// tiers. Resolution and aggregation are sequential in submission
+    /// order, so the fleet ledger ([`ScenarioRunner::fleet_cache_stats`])
+    /// is byte-identical at any job count.
+    fn run_fleets(&self, fleets: Vec<Box<dyn FleetScenario>>) -> Vec<ScenarioResult> {
+        enum FleetSlot {
+            /// Expand and aggregate, optionally storing under the fleet
+            /// fingerprint afterwards.
+            Expand(Option<ConfigFingerprint>),
+            /// Aggregated report already cached: replay it.
+            Replay(RunReport),
+        }
+
+        // Sequential resolution, fleet by fleet.
+        let slots: Vec<FleetSlot> = fleets
+            .iter()
+            .map(|fleet| match (&self.cache, fleet.config_fingerprint()) {
+                (Some(cache), Some(fp)) => {
+                    if let Some(report) = cache.get(&fp) {
+                        self.fleet_hits.fetch_add(1, Ordering::Relaxed);
+                        FleetSlot::Replay(report)
+                    } else if let Some(report) = self.disk_lookup(fp) {
+                        self.fleet_hits.fetch_add(1, Ordering::Relaxed);
+                        cache.insert(fp, report.clone());
+                        FleetSlot::Replay(report)
+                    } else {
+                        self.fleet_misses.fetch_add(1, Ordering::Relaxed);
+                        FleetSlot::Expand(Some(fp))
+                    }
+                }
+                _ => FleetSlot::Expand(None),
+            })
+            .collect();
+
+        // Expand every missed fleet into one flat shard batch.
+        let mut batch: Vec<Box<dyn Scenario>> = Vec::new();
+        let mut spans = Vec::with_capacity(fleets.len());
+        for (fleet, slot) in fleets.iter().zip(&slots) {
+            let start = batch.len();
+            if matches!(slot, FleetSlot::Expand(_)) {
+                for shard in 0..fleet.fleet().shards() {
+                    batch.push(fleet.shard_scenario(shard));
+                }
+            }
+            spans.push(start..batch.len());
+        }
+        let mut shard_results = self.run_all(batch).into_iter();
+
+        // Sequential aggregation + store, in submission order.
+        let results: Vec<ScenarioResult> = fleets
+            .iter()
+            .zip(slots)
+            .zip(spans)
+            .map(|((fleet, slot), span)| {
+                let report = match slot {
+                    FleetSlot::Replay(report) => report,
+                    FleetSlot::Expand(fp) => {
+                        let reports: Vec<RunReport> = span
+                            .map(|_| {
+                                shard_results
+                                    .next()
+                                    .expect("run_all returns one result per scenario")
+                                    .report
+                            })
+                            .collect();
+                        let report = fleet.aggregate(reports);
+                        if let Some(fp) = fp {
+                            if let Some(cache) = &self.cache {
+                                cache.insert(fp, report.clone());
+                            }
+                            self.disk_store(fp, &report);
+                        }
+                        report
+                    }
+                };
+                ScenarioResult {
+                    label: fleet.label(),
+                    report,
+                }
+            })
+            .collect();
+        self.disk_flush();
+        results
     }
 }
 
@@ -264,6 +468,15 @@ impl ScenarioExecutor for CountingExecutor<'_> {
     fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
         self.count.fetch_add(scenarios.len(), Ordering::Relaxed);
         self.inner.run_all(scenarios)
+    }
+
+    // Forward instead of taking the trait default: the default would
+    // expand fleets through *this* wrapper's `run_all`, bypassing the
+    // inner executor's fleet-level result caching. Counts each fleet as
+    // one scenario (a cached fleet expands no shards at all).
+    fn run_fleets(&self, fleets: Vec<Box<dyn FleetScenario>>) -> Vec<ScenarioResult> {
+        self.count.fetch_add(fleets.len(), Ordering::Relaxed);
+        self.inner.run_fleets(fleets)
     }
 }
 
@@ -318,13 +531,10 @@ impl<'a> RecordingExecutor<'a> {
     pub fn drain(&self) -> Vec<CapturedScenario> {
         std::mem::take(&mut *self.captured.lock().expect("capture buffer poisoned"))
     }
-}
 
-impl ScenarioExecutor for RecordingExecutor<'_> {
-    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
-        let results = self.inner.run_all(scenarios);
+    fn capture(&self, results: &[ScenarioResult]) {
         let mut captured = self.captured.lock().expect("capture buffer poisoned");
-        for r in &results {
+        for r in results {
             captured.push(CapturedScenario {
                 label: r.label.clone(),
                 makespan_ps: r.report.makespan.as_ps(),
@@ -333,6 +543,23 @@ impl ScenarioExecutor for RecordingExecutor<'_> {
                 metrics: r.report.metrics.clone(),
             });
         }
+    }
+}
+
+impl ScenarioExecutor for RecordingExecutor<'_> {
+    fn run_all(&self, scenarios: Vec<Box<dyn Scenario>>) -> Vec<ScenarioResult> {
+        let results = self.inner.run_all(scenarios);
+        self.capture(&results);
+        results
+    }
+
+    // Forward instead of taking the trait default, so the inner
+    // executor's fleet-level result caching applies. What gets captured
+    // is the *aggregated* fleet result (label + report with the
+    // `fleet.*` telemetry block), not the per-shard expansion.
+    fn run_fleets(&self, fleets: Vec<Box<dyn FleetScenario>>) -> Vec<ScenarioResult> {
+        let results = self.inner.run_fleets(fleets);
+        self.capture(&results);
         results
     }
 }

@@ -62,6 +62,7 @@
 
 pub mod api;
 pub mod blueprint;
+pub mod codec;
 pub mod config;
 pub mod fingerprint;
 pub mod fleet;
@@ -78,6 +79,9 @@ pub use api::{
     Arg, ArgSlot, ConfigError, ExecMode, Level, Pipeline, ReachConfig, StreamType, ValidatedConfig,
 };
 pub use blueprint::MachineBlueprint;
+pub use codec::{
+    decode_report, encode_report, simulator_version_stamp, CodecError, REPORT_CODEC_VERSION,
+};
 pub use config::SystemConfig;
 pub use fingerprint::ConfigFingerprint;
 pub use fleet::{
@@ -95,5 +99,6 @@ pub use work::{DataAccess, TaskWork};
 // Re-export the vocabulary types users need alongside the API.
 pub use reach_accel::{AcceleratorId, ComputeLevel, KernelSpec, TemplateRegistry};
 pub use reach_energy::{EnergyLedger, SystemComponent};
+pub use reach_gam::manager::GamStats;
 pub use reach_gam::{Job, JobBuilder, JobId, TaskId};
 pub use reach_sim::{MetricValue, MetricsSnapshot, SimDuration, SimTime};

@@ -144,6 +144,7 @@ pub struct FnScenario<F> {
     label: String,
     seed: u64,
     blueprint: MachineBlueprint,
+    fingerprint: Option<ConfigFingerprint>,
     body: F,
 }
 
@@ -157,6 +158,7 @@ where
             label: label.into(),
             seed: reach_sim::rng::session_seed(),
             blueprint,
+            fingerprint: None,
             body,
         }
     }
@@ -165,6 +167,21 @@ where
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Declares a [`Scenario::config_fingerprint`] for this closure.
+    ///
+    /// The executor cannot see inside `body`, so this is a *vouch*: the
+    /// caller asserts that `fingerprint` covers every input the closure's
+    /// report depends on (blueprint, pipelines, batch counts, seed, …) —
+    /// exactly the contract `config_fingerprint` documents. Hand-compose
+    /// the digest from the same fingerprint plumbing the structural
+    /// scenario types use; an under-keyed vouch silently poisons any
+    /// result cache, which with a persistent tier outlives the process.
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: ConfigFingerprint) -> Self {
+        self.fingerprint = Some(fingerprint);
         self
     }
 }
@@ -187,6 +204,10 @@ where
 
     fn run(&self, machine: &mut Machine) -> RunReport {
         (self.body)(machine)
+    }
+
+    fn config_fingerprint(&self) -> Option<ConfigFingerprint> {
+        self.fingerprint
     }
 }
 

@@ -161,6 +161,21 @@ impl EnergyLedger {
         v
     }
 
+    /// Every `(component, stage, joules)` cell in deterministic
+    /// (component, stage) order — the serialization walk: feeding these
+    /// triples back through [`EnergyLedger::add`] reconstructs the ledger
+    /// bit-exactly (cells are only ever built by summing non-negative
+    /// finite values, so re-adding each final sum once is lossless).
+    pub fn cells(&self) -> impl Iterator<Item = (SystemComponent, &str, f64)> {
+        self.cells.iter().map(|((c, s), &j)| (*c, s.as_str(), j))
+    }
+
+    /// Number of populated cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
     /// Merges another ledger into this one (summing overlapping cells).
     pub fn merge(&mut self, other: &EnergyLedger) {
         for ((c, s), &j) in &other.cells {
@@ -246,6 +261,21 @@ mod tests {
     fn stages_sorted_unique() {
         let l = sample();
         assert_eq!(l.stages(), vec!["fe".to_string(), "rr".to_string()]);
+    }
+
+    #[test]
+    fn cells_round_trip_bit_exactly() {
+        let l = sample();
+        assert_eq!(l.cell_count(), 4);
+        let mut rebuilt = EnergyLedger::new();
+        for (c, s, j) in l.cells() {
+            rebuilt.add(c, s, j);
+        }
+        assert_eq!(rebuilt.cell_count(), l.cell_count());
+        for ((c, s, a), (c2, s2, b)) in l.cells().zip(rebuilt.cells()) {
+            assert_eq!((c, s), (c2, s2));
+            assert_eq!(a.to_bits(), b.to_bits(), "cell {c}/{s} drifted");
+        }
     }
 
     #[test]

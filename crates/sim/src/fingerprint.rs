@@ -20,6 +20,24 @@ use std::fmt;
 const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
 const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
 
+const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV64_PRIME: u64 = 0x00000100000001b3;
+
+/// FNV-1a-64 over a raw byte slice: the record checksum used by persisted
+/// stores (e.g. the on-disk result cache). 64 bits is plenty for
+/// *corruption detection* — unlike [`FingerprintBuilder`] this is not an
+/// identity hash, so no framing and no domain seed; the bytes being
+/// checksummed already carry their own structure.
+#[must_use]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut state = FNV64_OFFSET;
+    for &byte in bytes {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(FNV64_PRIME);
+    }
+    state
+}
+
 /// A 128-bit stable hash value.
 ///
 /// Renders as 32 lowercase hex digits; parseable back via
@@ -203,6 +221,21 @@ mod tests {
         assert_eq!(Fingerprint::parse(&v.to_string()), Some(v));
         assert_eq!(v.to_string().len(), 32);
         assert!(Fingerprint::parse("xyz").is_none());
+    }
+
+    #[test]
+    fn checksum64_is_pinned_and_sensitive() {
+        // Pinned value: the on-disk cache format depends on this exact
+        // function; a change here must bump the store magic.
+        assert_eq!(checksum64(b""), 0xcbf29ce484222325);
+        assert_eq!(checksum64(b"reach"), checksum64(b"reach"));
+        assert_ne!(checksum64(b"reach"), checksum64(b"reacH"));
+        // Single-bit flips anywhere in a longer payload are caught.
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let base = checksum64(&payload);
+        let mut flipped = payload.clone();
+        flipped[100] ^= 0x01;
+        assert_ne!(checksum64(&flipped), base);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
-pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use fingerprint::{checksum64, Fingerprint, FingerprintBuilder};
 pub use intern::Symbol;
 pub use metrics::{
     CounterId, GaugeId, HistogramId, MetricValue, MetricsRegistry, MetricsSnapshot, OccupancyId,

@@ -71,10 +71,13 @@ fn fleet_suite_is_byte_identical_across_job_counts_and_cache_modes() {
     }
 }
 
-/// Shard-level result caching: a homogeneous fleet's shards share one
-/// fingerprint, so the runner simulates one shard per distinct (placement,
-/// N) point and replays the rest — and the hit/miss ledger is identical at
-/// any job count. A warm second pass replays everything.
+/// Two-level result caching over fleets. Cold pass: every fleet misses at
+/// fleet granularity and expands, but a homogeneous fleet's shards share
+/// one fingerprint, so the runner simulates one shard per distinct
+/// (placement, N) point and replays the rest. Warm pass: every fleet's
+/// *aggregated* report replays at fleet granularity — no shard expands, so
+/// the shard ledger does not move at all. Both ledgers are identical at
+/// any job count.
 #[test]
 fn fleet_shards_replay_through_the_result_cache() {
     let mut ledgers = Vec::new();
@@ -82,20 +85,26 @@ fn fleet_shards_replay_through_the_result_cache() {
         let runner = ScenarioRunner::new(jobs);
         let cold = reach_bench::render_extension_fleet(&runner);
         let cold_stats = runner.cache_stats();
+        let cold_fleet = runner.fleet_cache_stats();
         let warm = reach_bench::render_extension_fleet(&runner);
         let warm_stats = runner.cache_stats();
+        let warm_fleet = runner.fleet_cache_stats();
         assert_eq!(cold, warm, "cache replay changed the fleet suite");
 
         // 2 placements x FLEET_SWEEP shard counts, each homogeneous: one
-        // miss per distinct point, every other shard is a replay.
+        // shard miss per distinct point, every other shard is a replay.
         let points = 2 * FLEET_SWEEP.len();
         let shard_total: usize = 2 * FLEET_SWEEP.iter().sum::<usize>();
+        assert_eq!(cold_fleet.misses, points as u64);
+        assert_eq!(cold_fleet.hits, 0);
         assert_eq!(cold_stats.misses, points as u64);
         assert_eq!(cold_stats.hits, (shard_total - points) as u64);
-        // The warm pass adds zero misses: every shard is a hit.
-        assert_eq!(warm_stats.misses, cold_stats.misses);
-        assert_eq!(warm_stats.hits, cold_stats.hits + shard_total as u64);
-        ledgers.push((cold_stats, warm_stats));
+        // The warm pass replays whole fleets: one fleet-level hit per
+        // point and an untouched shard ledger.
+        assert_eq!(warm_fleet.misses, cold_fleet.misses);
+        assert_eq!(warm_fleet.hits, points as u64);
+        assert_eq!(warm_stats, cold_stats, "warm pass touched the shard ledger");
+        ledgers.push((cold_stats, warm_stats, cold_fleet, warm_fleet));
     }
     assert_eq!(ledgers[0], ledgers[1], "accounting depends on job count");
 }
