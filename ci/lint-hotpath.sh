@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Fails if any String allocation or formatting creeps back onto the
-# machine's per-event dispatch path. The hot functions below run once (or
-# more) per simulated event; the only allowed string work is inside the
-# opt-in #[cold] trace helpers.
+# Two hot-path guards:
+#  1. Fails if any String allocation or formatting creeps back onto the
+#     machine's per-event dispatch path. The hot functions below run once
+#     (or more) per simulated event; the only allowed string work is
+#     inside the opt-in #[cold] trace helpers.
+#  2. Fails if `unsafe` appears anywhere in the workspace outside
+#     crates/cbir/src/simd.rs — the one sanctioned home for the
+#     #[target_feature] SIMD kernels. Every other crate forbids
+#     unsafe_code at the crate root; this catches the reach-cbir modules,
+#     where the root lint is only `deny` (simd.rs needs a local allow).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,4 +64,40 @@ if violations:
         print(f"  {SRC}:{lineno} (fn {fn}): {text}")
     sys.exit(1)
 print(f"lint-hotpath: {len(HOT)} hot function(s) clean in {SRC}")
+EOF
+
+python3 - <<'EOF'
+import pathlib
+import re
+import sys
+
+ALLOWED = pathlib.Path("crates/cbir/src/simd.rs")
+# The word `unsafe` outside comments. Mentions of the lint level itself
+# (`forbid(unsafe_code)` / `deny(unsafe_code)`) are attributes, not code.
+UNSAFE = re.compile(r"\bunsafe\b(?!_code)")
+
+violations = []
+scanned = 0
+for path in sorted(pathlib.Path("crates").rglob("*.rs")):
+    if path == ALLOWED:
+        continue
+    scanned += 1
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        code = line.split("//", 1)[0]
+        if "unsafe_code" in code:
+            continue
+        if UNSAFE.search(code):
+            violations.append((path, lineno, line.strip()))
+
+if not ALLOWED.exists():
+    print(f"lint-unsafe: expected SIMD module at {ALLOWED}")
+    sys.exit(1)
+if violations:
+    print("lint-unsafe: `unsafe` outside crates/cbir/src/simd.rs:")
+    for path, lineno, text in violations:
+        print(f"  {path}:{lineno}: {text}")
+    sys.exit(1)
+print(f"lint-unsafe: {scanned} file(s) clean (unsafe confined to {ALLOWED})")
 EOF

@@ -10,6 +10,7 @@ same validations run locally:
     ci/validate.py fleet fleet_j1.out fleet_j4.out ...  # determinism captures
     ci/validate.py traffic traffic_j1.out traffic_j4.out ...
     ci/validate.py diskcache cold.out:cold.err warm.out:warm.err ...
+    ci/validate.py simd simd_off_j1.out simd_auto_j1.out ...
     ci/validate.py selftest                      # the validators' own tests
 
 The diskcache kind takes stdout:stderr capture pairs from runs sharing one
@@ -30,6 +31,7 @@ SPEEDUP_BARS = {
     "reach-bench-pr4-v1": 1.4,
     "reach-bench-pr5-v1": 1.3,
     "reach-bench-pr8-v1": 3.0,
+    "reach-bench-pr9-v1": 1.3,
 }
 
 DISK_CACHE_LINE = re.compile(r"(\d+) disk hit\(s\), (\d+) disk miss\(es\)")
@@ -75,6 +77,7 @@ def validate_metrics(doc):
                 f"empty metrics for {s.get('label')!r}")
     proc = doc.get("process", {}).get("metrics", {})
     for key in (
+        "cbir.simd_dispatch",
         "cbir.cache_hits",
         "cbir.cache_misses",
         "runner.result_cache_hits",
@@ -198,6 +201,28 @@ def validate_traffic(captures):
     return f"{len(captures)} identical capture(s), {n} traffic rows"
 
 
+SIMD_SUITE_HEADER = "TABLE I. MEMORY AND COMPUTE REQUIREMENTS"
+
+
+def validate_simd(captures):
+    """SIMD-determinism captures: full `experiments` suite stdout recorded
+    under REACH_SIMD=off and REACH_SIMD=auto at different --jobs levels.
+    The explicit-SIMD kernel tier is bit-identical to the scalar one by
+    construction, so every capture must be byte-identical — a single
+    differing byte means the no-FMA lane model broke somewhere."""
+    require(len(captures) >= 2,
+            f"need at least two captures to compare, got {len(captures)}")
+    (ref_name, reference) = captures[0]
+    require(SIMD_SUITE_HEADER in reference,
+            f"{ref_name} is not a full-suite capture (missing the Table I "
+            "header)")
+    for name, text in captures[1:]:
+        require(text == reference,
+                f"{name} differs from {ref_name} — the SIMD tier is no "
+                "longer bit-identical to the scalar kernels")
+    return f"{len(captures)} identical capture(s)"
+
+
 def validate_diskcache(pairs):
     """Persistent-cache captures: (name, stdout, stderr) triples from
     `experiments` or `sweep` runs sharing one --result-cache-dir. The first
@@ -272,6 +297,7 @@ def selftest():
         "schema": "reach-run-metrics-v1",
         "scenarios": [{"label": "a", "metrics": {"metrics": [{"name": "x"}]}}],
         "process": {"metrics": {
+            "cbir.simd_dispatch": {"kind": "gauge", "mean": 1.0, "last": 1.0},
             "cbir.cache_hits": 1, "cbir.cache_misses": 2,
             "runner.result_cache_hits": 3, "runner.result_cache_misses": 4,
             "runner.result_cache_disk_hits": 0,
@@ -329,6 +355,10 @@ def selftest():
     bad = json.loads(json.dumps(good_metrics))
     del bad["process"]["metrics"]["runner.result_cache_hits"]
     rejects(validate_metrics, bad, "missing result-cache counter")
+
+    bad = json.loads(json.dumps(good_metrics))
+    del bad["process"]["metrics"]["cbir.simd_dispatch"]
+    rejects(validate_metrics, bad, "missing simd-dispatch gauge")
 
     bad = json.loads(json.dumps(good_metrics))
     del bad["process"]["metrics"]["runner.result_cache_disk_hits"]
@@ -392,6 +422,23 @@ def selftest():
                after={"wall_s": 0.12}, speedup=2.5)
     rejects(validate_bench, bad, "pr8 speedup below the 3.0x bar")
 
+    validate_bench({"schema": "reach-bench-pr9-v1",
+                    "before": {"wall_s": 0.30}, "after": {"wall_s": 0.20},
+                    "speedup": 1.5})
+    bad = dict(good_record, schema="reach-bench-pr9-v1",
+               after={"wall_s": 0.24}, speedup=1.25)
+    rejects(validate_bench, bad, "pr9 speedup below the 1.3x bar")
+
+    good_simd = SIMD_SUITE_HEADER + "\n  Feature extraction  552 MB\nFIG 8.\n"
+    validate_simd([("off_j1", good_simd), ("auto_j1", good_simd),
+                   ("auto_j8", good_simd)])
+    rejects(validate_simd, [("off_j1", good_simd)], "a single simd capture")
+    rejects(validate_simd,
+            [("off_j1", good_simd), ("auto_j1", good_simd + "drift")],
+            "non-identical simd captures")
+    rejects(validate_simd, [("off_j1", "no header"), ("auto_j1", "no header")],
+            "a simd capture without the suite header")
+
     rows = "sweep/ReACH/nm4-ns4\nmakespan 1.000ms\n"
     cold = ("cold", rows, "(result cache: 0 mem hit(s), 1 mem miss(es), "
             "0 disk hit(s), 1 disk miss(es))")
@@ -419,7 +466,7 @@ def selftest():
 
 def main(argv):
     kinds = ("metrics", "bench", "golden", "fleet", "traffic", "diskcache",
-             "selftest")
+             "simd", "selftest")
     if len(argv) < 2 or argv[1] not in kinds:
         print(__doc__, file=sys.stderr)
         return 2
@@ -438,8 +485,9 @@ def main(argv):
             print(f"{kind}: {e}", file=sys.stderr)
             return 1
         return 0
-    if kind in ("fleet", "traffic"):
-        validate = {"fleet": validate_fleet, "traffic": validate_traffic}[kind]
+    if kind in ("fleet", "traffic", "simd"):
+        validate = {"fleet": validate_fleet, "traffic": validate_traffic,
+                    "simd": validate_simd}[kind]
         try:
             check_captures(kind, validate, paths)
         except (ValidationError, OSError) as e:

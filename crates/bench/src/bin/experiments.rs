@@ -178,6 +178,14 @@ fn main() -> ExitCode {
 
     if let Some(path) = metrics_path {
         let mut process = MetricsSnapshot::new(0);
+        // Which kernel tier served this run (0 scalar, 1 avx2, 2 neon) —
+        // resolving it here also emits the once-per-process stderr note,
+        // so a --metrics run is always attributable even if no functional
+        // kernel happened to execute.
+        process.set_gauge(
+            "cbir.simd_dispatch",
+            reach_cbir::simd::active().gauge_value(),
+        );
         process.set_counter("cbir.cache_hits", cache_hits);
         process.set_counter("cbir.cache_misses", cache_misses);
         process.set_counter("runner.result_cache_hits", result_cache.hits);

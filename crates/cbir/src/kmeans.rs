@@ -43,8 +43,10 @@ pub fn kmeans(points: &Matrix, k: usize, max_iters: usize, rng: &mut impl Rng) -
     let n = points.rows();
     // The assignment scan is embarrassingly parallel per point; fan out in
     // fixed chunks (see `crate::par`) when the scan is worth a thread
-    // spawn.
-    let assign_jobs = if n > crate::par::CHUNK_ROWS && n * k * points.cols() >= 1 << 20 {
+    // spawn. The FLOP estimate saturates, same as `gemm_fanout_jobs` —
+    // adversarial shapes must not overflow the gate.
+    let flops = n.saturating_mul(k).saturating_mul(points.cols());
+    let assign_jobs = if n > crate::par::CHUNK_ROWS && flops >= 1 << 20 {
         crate::par::kernel_jobs()
     } else {
         1

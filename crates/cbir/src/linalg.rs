@@ -90,24 +90,33 @@ impl Matrix {
 /// fashion" in the paper.
 ///
 /// Large products fan out across threads in fixed 64-row chunks (see
-/// [`crate::par`]); every output element is accumulated by the same scalar
-/// `t`-ordered loop on either path, so the result is byte-identical at any
-/// worker count.
+/// [`crate::par`]); every output element is accumulated in the same
+/// `t`-ordered lane model on either path — and on either kernel tier,
+/// scalar or explicit SIMD (see [`crate::simd`]) — so the result is
+/// byte-identical at any worker count and on any host.
 ///
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree.
 #[must_use]
 pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    // Fan out only when the product is worth a thread spawn and there is
-    // more than one chunk of output rows to hand out.
-    let flops = a.rows * b.rows * a.cols;
-    let jobs = if a.rows > crate::par::CHUNK_ROWS && flops >= 1 << 20 {
+    gemm_nt_jobs(a, b, gemm_fanout_jobs(a.rows, b.rows, a.cols))
+}
+
+/// Worker count for an `m x k` by `n x k` product: fan out only when the
+/// product is worth a thread spawn and there is more than one chunk of
+/// output rows to hand out. The FLOP estimate saturates — adversarial
+/// huge-dimension [`Matrix`] shapes (degenerate zero-column matrices can
+/// carry arbitrarily large row counts) must not overflow the gate.
+#[doc(hidden)]
+#[must_use]
+pub fn gemm_fanout_jobs(m: usize, n: usize, k: usize) -> usize {
+    let flops = m.saturating_mul(n).saturating_mul(k);
+    if m > crate::par::CHUNK_ROWS && flops >= 1 << 20 {
         crate::par::kernel_jobs()
     } else {
         1
-    };
-    gemm_nt_jobs(a, b, jobs)
+    }
 }
 
 /// [`gemm_nt`] with an explicit worker count, bypassing the size gate.
@@ -138,20 +147,22 @@ pub fn gemm_nt_jobs(a: &Matrix, b: &Matrix, jobs: usize) -> Matrix {
     c
 }
 
-/// SIMD-ish lane count of the register-blocked kernels. Eight `f32`
-/// lanes map onto one AVX2 register (or two NEON registers); the point is
-/// not the exact width but that every accumulator lane is independent, so
-/// the compiler can keep them in vector registers.
-const LANES: usize = 8;
+/// SIMD lane count of the register-blocked kernels. Eight `f32` lanes map
+/// onto one AVX2 register (or two NEON registers): the scalar kernels keep
+/// the lanes independent so the compiler can auto-vectorize them, and the
+/// explicit kernels in [`crate::simd`] hold the *same* lanes in real
+/// vector registers — which is what makes the two tiers bit-identical.
+pub(crate) const LANES: usize = 8;
 
 /// Columns of `B^T` processed per inner-kernel invocation.
 const COLS: usize = 4;
 
 /// Folds an 8-lane accumulator with a fixed reduction tree. Every kernel
-/// in this module reduces through this one function, so any two paths
-/// that accumulate the same lanes agree bit-for-bit.
+/// in this module *and* every explicit-SIMD kernel in [`crate::simd`]
+/// reduces through this one function, so any two paths that accumulate
+/// the same lanes agree bit-for-bit.
 #[inline]
-fn reduce(acc: [f32; LANES]) -> f32 {
+pub(crate) fn reduce(acc: [f32; LANES]) -> f32 {
     let q = [
         acc[0] + acc[4],
         acc[1] + acc[5],
@@ -171,8 +182,19 @@ fn reduce(acc: [f32; LANES]) -> f32 {
 /// This is *the* accumulation order of the crate: the GEMM micro-kernel,
 /// [`norm_sq`] and the k-means assignment all route through it, which is
 /// what makes decomposed distances of a vector to itself exactly zero.
+///
+/// Dispatches to the explicit-SIMD tier ([`crate::simd`]) when the
+/// process-wide [`crate::simd::active`] path allows — bit-identical by
+/// construction, so call sites never need to care which tier ran.
 #[inline]
 pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    crate::simd::dot8_on(crate::simd::active(), a, b)
+}
+
+/// The portable scalar body of [`dot8`] — the reference the SIMD tier is
+/// proven against, and the fallback it degrades to.
+#[inline]
+pub(crate) fn dot8_scalar(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; LANES];
     let main = a.len() / LANES * LANES;
@@ -201,10 +223,24 @@ pub(crate) fn dot8(a: &[f32], b: &[f32]) -> f32 {
 /// columns (plain `dot8`) and any row-chunking all produce bit-identical
 /// results.
 pub(crate) fn gemm_nt_rows(a: &Matrix, b: &Matrix, row0: usize, out: &mut [f32]) {
+    gemm_nt_rows_on(crate::simd::active(), a, b, row0, out);
+}
+
+/// [`gemm_nt_rows`] with an explicit kernel tier, bypassing the dispatch
+/// cache. Exposed (hidden) so the determinism suite can prove every
+/// available [`SimdPath`](crate::simd::SimdPath) produces bit-identical
+/// output without racing on the process-wide dispatch override.
+#[doc(hidden)]
+pub fn gemm_nt_rows_on(
+    path: crate::simd::SimdPath,
+    a: &Matrix,
+    b: &Matrix,
+    row0: usize,
+    out: &mut [f32],
+) {
     let n = b.rows;
     let k = a.cols;
     let rows = out.len() / n;
-    let main = k / LANES * LANES;
     // Packed B panel: COLS rows of B, contiguous. One allocation per
     // chunk, reused across every (i, j0) iteration.
     let mut panel = vec![0.0f32; COLS * k];
@@ -218,37 +254,58 @@ pub(crate) fn gemm_nt_rows(a: &Matrix, b: &Matrix, row0: usize, out: &mut [f32])
             let (b2, b3) = rest.split_at(k);
             for i in 0..rows {
                 let ar = a.row(row0 + i);
-                let mut acc = [[0.0f32; LANES]; COLS];
-                for t0 in (0..main).step_by(LANES) {
-                    for l in 0..LANES {
-                        let x = ar[t0 + l];
-                        acc[0][l] += x * b0[t0 + l];
-                        acc[1][l] += x * b1[t0 + l];
-                        acc[2][l] += x * b2[t0 + l];
-                        acc[3][l] += x * b3[t0 + l];
-                    }
-                }
-                for (l, t) in (main..k).enumerate() {
-                    let x = ar[t];
-                    acc[0][l] += x * b0[t];
-                    acc[1][l] += x * b1[t];
-                    acc[2][l] += x * b2[t];
-                    acc[3][l] += x * b3[t];
-                }
-                for (c, lanes) in acc.into_iter().enumerate() {
-                    out[i * n + j0 + c] = reduce(lanes);
-                }
+                let vals = crate::simd::kernel4_on(path, ar, b0, b1, b2, b3);
+                out[i * n + j0..i * n + j0 + COLS].copy_from_slice(&vals);
             }
         } else {
-            // Remainder columns: same order via the scalar-kernel dot.
+            // Remainder columns: same order via the one-row dot kernel.
             for j in j0..n {
                 let br = b.row(j);
                 for i in 0..rows {
-                    out[i * n + j] = dot8(a.row(row0 + i), br);
+                    out[i * n + j] = crate::simd::dot8_on(path, a.row(row0 + i), br);
                 }
             }
         }
     }
+}
+
+/// The portable scalar inner loop of the 4x8 micro-kernel: one `A` row
+/// against four packed `B` rows, four independent 8-lane accumulators.
+/// Per output element the accumulation order is exactly [`dot8`]'s. The
+/// explicit-SIMD siblings in [`crate::simd`] hold the same four
+/// accumulators in vector registers and are proven bit-identical.
+#[inline]
+pub(crate) fn kernel4_scalar(
+    ar: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) -> [f32; COLS] {
+    let k = ar.len();
+    let main = k / LANES * LANES;
+    let mut acc = [[0.0f32; LANES]; COLS];
+    for t0 in (0..main).step_by(LANES) {
+        for l in 0..LANES {
+            let x = ar[t0 + l];
+            acc[0][l] += x * b0[t0 + l];
+            acc[1][l] += x * b1[t0 + l];
+            acc[2][l] += x * b2[t0 + l];
+            acc[3][l] += x * b3[t0 + l];
+        }
+    }
+    for (l, t) in (main..k).enumerate() {
+        let x = ar[t];
+        acc[0][l] += x * b0[t];
+        acc[1][l] += x * b1[t];
+        acc[2][l] += x * b2[t];
+        acc[3][l] += x * b3[t];
+    }
+    let mut vals = [0.0f32; COLS];
+    for (v, lanes) in vals.iter_mut().zip(acc) {
+        *v = reduce(lanes);
+    }
+    vals
 }
 
 /// Squared L2 norm of a vector, accumulated in [`dot8`] order so that
@@ -394,6 +451,20 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn bad_shape_rejected() {
         let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn fanout_gate_survives_adversarial_shapes() {
+        // Regression: the FLOP estimate used to be `m * n * k`, which
+        // overflows (debug panic, release wrap) on degenerate shapes like
+        // zero-column matrices with astronomically many rows — legal
+        // `Matrix` values, since `rows * cols` still equals `data.len()`.
+        let jobs = gemm_fanout_jobs(usize::MAX, usize::MAX, usize::MAX);
+        assert!(jobs >= 1, "saturated estimate must still pick a job count");
+        // A zero-FLOP product never fans out, no matter the row counts...
+        assert_eq!(gemm_fanout_jobs(usize::MAX, usize::MAX, 0), 1);
+        // ...and neither does a single-row output, however wide.
+        assert_eq!(gemm_fanout_jobs(1, usize::MAX, usize::MAX), 1);
     }
 
     proptest! {
