@@ -9,9 +9,15 @@ same validations run locally:
     ci/validate.py golden tests/golden/fingerprints.txt
     ci/validate.py fleet fleet_j1.out fleet_j4.out ...  # determinism captures
     ci/validate.py traffic traffic_j1.out traffic_j4.out ...
+    ci/validate.py graph graph_j1.out graph_j4.out ...
     ci/validate.py diskcache cold.out:cold.err warm.out:warm.err ...
     ci/validate.py simd simd_off_j1.out simd_auto_j1.out ...
+    ci/validate.py suite suite_j1.out suite_j4.out ...  # alias of simd
+    ci/validate.py identical a.out b.out ...     # plain byte-compare
     ci/validate.py selftest                      # the validators' own tests
+
+Most capture kinds are fed by ci/determinism.sh, which records the same
+experiment ids under a matrix of --jobs levels and cache modes.
 
 The diskcache kind takes stdout:stderr capture pairs from runs sharing one
 --result-cache-dir; the first pair is the cold run, the rest are warm.
@@ -56,6 +62,29 @@ TRAFFIC_ROW = re.compile(
     r"\s+p999\s+(?P<p999>[\d.]+)ms\s*$"
 )
 
+GRAPH_HEADER = "EXTENSION. GRAPH ANALYTICS"
+GRAPH_CORUN_HEADER = "EXTENSION. GRAPH + CBIR CO-RUN"
+GRAPH_SCALES = (1024, 4096, 16384)
+GRAPH_PLACEMENTS = ("on-chip", "near-memory", "near-storage")
+GRAPH_CORUN_RATES = (4, 8)
+GRAPH_ROW = re.compile(
+    r"^\s*(?P<workload>bfs|pagerank)\s+(?P<placement>\S+)\s+(?P<graph>\S+)"
+    r"\s+(?P<edges>\d+) edges\s+(?P<makespan>[\d.]+)ms\s+(?P<evps>\d+) ev/s"
+    r"\s+(?:frontiers \[(?P<frontiers>[\d ]*)\] visited (?P<visited>\d+)"
+    r"|residuals \[(?P<residuals>[^\]]*)\])\s*$"
+)
+GRAPH_CORUN_ROW = re.compile(
+    r"^\s*corun @\s*(?P<rate>\d+)/s\s+(?P<mode>solo|shared)"
+    r"\s+admitted\s*(?P<admitted>\d+)/(?P<offered>\d+)"
+    r"\s*rejected\s+(?P<rejected>\d+)"
+    r"\s+cbir-p99\s+(?P<p99>[\d.]+)ms"
+    r"\s+ddr-contended\s+(?P<ddr>\d+)cy"
+    r"(?:\s+aimbus-queued (?P<aimbus>\d+)ps"
+    r"\s+graph-jobs (?P<jobs>\d+)"
+    r"\s+dispatches cbir/graph (?P<cbir_d>\d+)/(?P<graph_d>\d+)"
+    r"\s+p99-delta (?P<delta>[+-][\d.]+)ms)?\s*$"
+)
+
 
 class ValidationError(Exception):
     pass
@@ -97,6 +126,8 @@ def validate_bench(doc):
     if schema == "reach-bench-v1":
         require(doc.get("experiments"), "no experiments captured")
         return f"{len(doc['experiments'])} experiment(s)"
+    if schema == "reach-bench-pr10-v1":
+        return validate_bench_pr10(doc)
     require(isinstance(schema, str) and schema.startswith("reach-bench-pr"),
             f"bad schema {schema!r}")
     before = doc.get("before", {}).get("wall_s")
@@ -114,6 +145,51 @@ def validate_bench(doc):
     if bar is not None:
         require(speedup >= bar, f"speedup {speedup} below the {bar}x bar")
     return f"{before}s -> {after}s ({speedup}x)"
+
+
+def validate_bench_pr10(doc):
+    """The PR 10 contention record: wall-clock of the graph + co-run suite,
+    graph traversal throughput, and the measured p99 price of co-residency.
+    Unlike the pr3..pr9 records this is not a speedup claim — the claim is
+    that co-running *costs* latency and that the record's numbers are
+    internally consistent."""
+    suite = doc.get("suite", {})
+    require(isinstance(suite.get("wall_s"), (int, float))
+            and suite["wall_s"] > 0, f"bad suite.wall_s {suite.get('wall_s')!r}")
+    require(suite.get("ids"), "suite.ids missing")
+    evps = doc.get("graph_events_per_sec", {})
+    require(evps, "no graph_events_per_sec entries")
+    for label, v in evps.items():
+        require(isinstance(v, (int, float)) and v > 0,
+                f"graph_events_per_sec[{label!r}] not positive: {v!r}")
+    corun = doc.get("corun")
+    require(corun, "no corun entries")
+    for row in corun:
+        rate = row.get("rate_per_sec")
+        solo, shared = row.get("solo_p99_ms"), row.get("corun_p99_ms")
+        delta = row.get("p99_delta_ms")
+        require(isinstance(rate, int) and rate > 0, f"bad rate {rate!r}")
+        require(isinstance(solo, (int, float)) and solo > 0,
+                f"@{rate}/s: bad solo_p99_ms {solo!r}")
+        require(isinstance(shared, (int, float)) and shared > solo,
+                f"@{rate}/s: co-run p99 {shared!r} not strictly above "
+                f"solo {solo!r}")
+        require(isinstance(delta, (int, float))
+                and abs(delta - (shared - solo)) < 2e-3,
+                f"@{rate}/s: p99_delta_ms {delta!r} inconsistent")
+        ddr_solo = row.get("solo_ddr_contended_cy")
+        ddr_shared = row.get("corun_ddr_contended_cy")
+        require(isinstance(ddr_solo, int) and isinstance(ddr_shared, int)
+                and ddr_shared > ddr_solo,
+                f"@{rate}/s: ddr contention gauge did not rise "
+                f"({ddr_solo!r} -> {ddr_shared!r})")
+        require(isinstance(row.get("graph_jobs"), int)
+                and row["graph_jobs"] > 0,
+                f"@{rate}/s: no graph batch jobs recorded")
+    deltas = ", ".join(f"+{r['p99_delta_ms']}ms@{r['rate_per_sec']}/s"
+                       for r in corun)
+    return (f"{suite['wall_s']}s suite, {len(evps)} throughput row(s), "
+            f"p99 deltas {deltas}")
 
 
 def validate_golden_fingerprints(text):
@@ -199,6 +275,109 @@ def validate_traffic(captures):
             "the trace row does not replay the bursty row")
     n = len(TRAFFIC_PLACEMENTS) * len(TRAFFIC_RATES) + 2
     return f"{len(captures)} identical capture(s), {n} traffic rows"
+
+
+def validate_graph(captures):
+    """Graph-determinism captures: `experiments extension-graph
+    extension-graph-corun` stdout recorded at different --jobs levels and
+    cache modes. All captures must be byte-identical; the reference must
+    contain the full placement x scale sweep with a shape that re-checks
+    the traversal semantics (every BFS frontier positive and summing to the
+    visited count, PageRank residuals strictly decreasing) and a co-run
+    sweep with balanced admission ledgers, a strictly positive p99 price of
+    co-residency at every rate, and contention gauges that actually move
+    when the graph tenant shares the machine."""
+    require(len(captures) >= 2,
+            f"need at least two captures to compare, got {len(captures)}")
+    (ref_name, reference) = captures[0]
+    for name, text in captures[1:]:
+        require(text == reference,
+                f"{name} differs from {ref_name} — graph determinism broke")
+    require(GRAPH_HEADER in reference, "missing the graph suite header")
+    require(GRAPH_CORUN_HEADER in reference, "missing the co-run suite header")
+
+    sweep = {}
+    corun = {}
+    for line in reference.splitlines():
+        m = GRAPH_ROW.match(line)
+        if m:
+            sweep[(m.group("workload"), m.group("placement"),
+                   m.group("graph"))] = m.groupdict()
+            continue
+        m = GRAPH_CORUN_ROW.match(line)
+        if m:
+            corun[(int(m.group("rate")), m.group("mode"))] = m.groupdict()
+
+    for placement in GRAPH_PLACEMENTS:
+        for scale in GRAPH_SCALES:
+            for workload, kind in (("bfs", "rmat"), ("pagerank", "uniform")):
+                row = sweep.get((workload, placement, f"{kind}/{scale}"))
+                require(row is not None,
+                        f"missing sweep row {workload}/{placement}/"
+                        f"{kind}/{scale}")
+                require(float(row["makespan"]) > 0 and int(row["evps"]) > 0,
+                        f"{workload}/{placement}/{kind}/{scale}: empty run")
+                if workload == "bfs":
+                    frontiers = [int(x) for x in row["frontiers"].split()]
+                    require(frontiers and all(f > 0 for f in frontiers),
+                            f"bfs {placement} {kind}/{scale}: empty frontier")
+                    require(sum(frontiers) == int(row["visited"]),
+                            f"bfs {placement} {kind}/{scale}: frontiers sum "
+                            f"{sum(frontiers)} != visited {row['visited']}")
+                else:
+                    residuals = [float(x) for x in row["residuals"].split()]
+                    require(len(residuals) >= 2,
+                            f"pagerank {placement} {kind}/{scale}: too few "
+                            "residuals")
+                    for prev, cur in zip(residuals, residuals[1:]):
+                        require(cur < prev,
+                                f"pagerank {placement} {kind}/{scale}: "
+                                f"residual rose ({prev} -> {cur})")
+
+    for rate in GRAPH_CORUN_RATES:
+        solo = corun.get((rate, "solo"))
+        shared = corun.get((rate, "shared"))
+        require(solo is not None and shared is not None,
+                f"missing solo/shared co-run pair at {rate}/s")
+        for mode, row in (("solo", solo), ("shared", shared)):
+            require(int(row["admitted"]) + int(row["rejected"])
+                    == int(row["offered"]),
+                    f"corun @{rate}/s {mode}: admission ledger does not "
+                    f"balance ({row['admitted']} + {row['rejected']} != "
+                    f"{row['offered']})")
+        require(shared["delta"] is not None,
+                f"corun @{rate}/s: shared row lost its contention fields")
+        solo_p99, shared_p99 = float(solo["p99"]), float(shared["p99"])
+        require(shared_p99 > solo_p99,
+                f"corun @{rate}/s: co-run p99 {shared_p99}ms not strictly "
+                f"above solo {solo_p99}ms — no measurable contention")
+        delta = float(shared["delta"])
+        require(abs(delta - (shared_p99 - solo_p99)) < 2e-3,
+                f"corun @{rate}/s: p99-delta {delta}ms inconsistent with "
+                f"{shared_p99}ms - {solo_p99}ms")
+        require(int(shared["ddr"]) > int(solo["ddr"]),
+                f"corun @{rate}/s: ddr-contended did not rise under co-run "
+                f"({solo['ddr']}cy -> {shared['ddr']}cy)")
+        require(int(shared["jobs"]) > 0,
+                f"corun @{rate}/s: the graph tenant completed no jobs")
+        require(int(shared["cbir_d"]) > 0 and int(shared["graph_d"]) > 0,
+                f"corun @{rate}/s: one tenant never dispatched")
+    n_corun = len(GRAPH_CORUN_RATES) * 2
+    return (f"{len(captures)} identical capture(s), {len(sweep)} sweep "
+            f"row(s), {n_corun} co-run row(s)")
+
+
+def validate_identical(captures):
+    """The weakest capture contract: at least two captures, all
+    byte-identical. For outputs with no dedicated row validator (e.g. the
+    sweep binary under cache on/off)."""
+    require(len(captures) >= 2,
+            f"need at least two captures to compare, got {len(captures)}")
+    (ref_name, reference) = captures[0]
+    require(reference.strip(), f"{ref_name} is empty")
+    for name, text in captures[1:]:
+        require(text == reference, f"{name} differs from {ref_name}")
+    return f"{len(captures)} identical capture(s)"
 
 
 SIMD_SUITE_HEADER = "TABLE I. MEMORY AND COMPUTE REQUIREMENTS"
@@ -461,12 +640,116 @@ def selftest():
               "0 disk hit(s), 0 disk miss(es))"), warm],
             "a cold run that never probed the disk tier")
 
+    def graph_capture(visited=6, residuals="2.6e-1 8.1e-2 2.7e-2",
+                      shared_p99=343.597, shared_ddr=4191788,
+                      shared_admitted=None, shared_rejected=0,
+                      graph_jobs=32, drop_tail=0):
+        lines = [GRAPH_HEADER + " (BFS + PageRank, avg degree 8)"]
+        for placement in GRAPH_PLACEMENTS:
+            for scale in GRAPH_SCALES:
+                lines.append(f"  bfs {placement} rmat/{scale}  8192 edges  "
+                             f"0.100ms  1000000 ev/s  frontiers [1 3 2] "
+                             f"visited {visited}")
+                lines.append(f"  pagerank {placement} uniform/{scale}  "
+                             f"8192 edges  0.100ms  1000000 ev/s  "
+                             f"residuals [{residuals}]")
+        lines.append(GRAPH_CORUN_HEADER + " (16 offered query batches)")
+        solo_p99 = 274.878
+        if shared_admitted is None:
+            shared_admitted = 16 - shared_rejected
+        for rate in GRAPH_CORUN_RATES:
+            lines.append(f"  corun @{rate:>2}/s    solo  admitted 16/16 "
+                         f"rejected  0  cbir-p99   {solo_p99:.3f}ms  "
+                         f"ddr-contended        0cy")
+            lines.append(f"  corun @{rate:>2}/s  shared  admitted "
+                         f"{shared_admitted}/16 rejected {shared_rejected}  "
+                         f"cbir-p99   {shared_p99:.3f}ms  ddr-contended  "
+                         f"{shared_ddr}cy  aimbus-queued 0ps  graph-jobs "
+                         f"{graph_jobs}  dispatches cbir/graph 144/192  "
+                         f"p99-delta {shared_p99 - solo_p99:+.3f}ms")
+        if drop_tail:
+            lines = lines[:-drop_tail]
+        return "\n".join(lines)
+
+    good_graph = graph_capture()
+    validate_graph([("j1", good_graph), ("j4", good_graph),
+                    ("j8", good_graph)])
+
+    rejects(validate_graph,
+            [("j1", good_graph), ("j4", good_graph + " drifted")],
+            "non-identical graph captures")
+    rejects(validate_graph, [("j1", good_graph)], "a single graph capture")
+    bad = graph_capture(visited=7)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "frontiers that do not sum to the visited count")
+    bad = graph_capture(residuals="2.6e-1 8.1e-2 9.9e-2")
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a rising PageRank residual")
+    bad = graph_capture(shared_p99=274.878)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a co-run p99 not strictly above solo")
+    bad = graph_capture(shared_ddr=0)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a ddr contention gauge that never moved")
+    bad = graph_capture(shared_admitted=16, shared_rejected=2)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a co-run admission ledger that does not balance")
+    bad = graph_capture(graph_jobs=0)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a co-run with no graph batch jobs")
+    bad = graph_capture(drop_tail=1)
+    rejects(validate_graph, [("j1", bad), ("j4", bad)],
+            "a capture missing the shared co-run row")
+    rejects(validate_graph, [("j1", "no header"), ("j4", "no header")],
+            "a capture without the graph headers")
+
+    validate_identical([("a", "same bytes"), ("b", "same bytes")])
+    rejects(validate_identical, [("a", "x"), ("b", "y")],
+            "non-identical plain captures")
+    rejects(validate_identical, [("a", "x")], "a single plain capture")
+    rejects(validate_identical, [("a", ""), ("b", "")],
+            "empty plain captures")
+
+    good_pr10 = {
+        "schema": "reach-bench-pr10-v1",
+        "suite": {"ids": ["extension-graph", "extension-graph-corun"],
+                  "wall_s": 0.5},
+        "graph_events_per_sec": {"bfs/near-memory/rmat/16384": 1.5e8},
+        "corun": [{
+            "rate_per_sec": 4, "offered": 16,
+            "solo_p99_ms": 274.878, "corun_p99_ms": 343.597,
+            "p99_delta_ms": 68.719,
+            "solo_ddr_contended_cy": 0, "corun_ddr_contended_cy": 4191788,
+            "graph_jobs": 32,
+        }],
+    }
+    validate_bench(good_pr10)
+
+    bad = json.loads(json.dumps(good_pr10))
+    bad["corun"][0]["corun_p99_ms"] = bad["corun"][0]["solo_p99_ms"]
+    rejects(validate_bench, bad, "a pr10 record with no p99 price")
+    bad = json.loads(json.dumps(good_pr10))
+    bad["corun"][0]["p99_delta_ms"] = 1.0
+    rejects(validate_bench, bad, "a pr10 record with inconsistent delta")
+    bad = json.loads(json.dumps(good_pr10))
+    bad["corun"][0]["corun_ddr_contended_cy"] = 0
+    rejects(validate_bench, bad, "a pr10 record whose ddr gauge never moved")
+    bad = json.loads(json.dumps(good_pr10))
+    bad["corun"] = []
+    rejects(validate_bench, bad, "a pr10 record with no corun entries")
+    bad = json.loads(json.dumps(good_pr10))
+    bad["graph_events_per_sec"] = {}
+    rejects(validate_bench, bad, "a pr10 record with no throughput rows")
+    bad = json.loads(json.dumps(good_pr10))
+    bad["corun"][0]["graph_jobs"] = 0
+    rejects(validate_bench, bad, "a pr10 record with no graph jobs")
+
     print("selftest ok: all validators accept good and reject bad inputs")
 
 
 def main(argv):
-    kinds = ("metrics", "bench", "golden", "fleet", "traffic", "diskcache",
-             "simd", "selftest")
+    kinds = ("metrics", "bench", "golden", "fleet", "traffic", "graph",
+             "diskcache", "simd", "suite", "identical", "selftest")
     if len(argv) < 2 or argv[1] not in kinds:
         print(__doc__, file=sys.stderr)
         return 2
@@ -485,9 +768,11 @@ def main(argv):
             print(f"{kind}: {e}", file=sys.stderr)
             return 1
         return 0
-    if kind in ("fleet", "traffic", "simd"):
+    if kind in ("fleet", "traffic", "graph", "simd", "suite", "identical"):
         validate = {"fleet": validate_fleet, "traffic": validate_traffic,
-                    "simd": validate_simd}[kind]
+                    "graph": validate_graph, "simd": validate_simd,
+                    "suite": validate_simd,
+                    "identical": validate_identical}[kind]
         try:
             check_captures(kind, validate, paths)
         except (ValidationError, OSError) as e:

@@ -457,6 +457,57 @@ pub fn render_extension_fleet(executor: &dyn ScenarioExecutor) -> String {
     s
 }
 
+/// Renders the graph-analytics extension experiment: BFS and PageRank as
+/// pipelines over the hierarchy, swept across placements and graph scales.
+/// The printed frontier sizes and residuals come from the host-side
+/// reference traversal — the correctness witness `ci/validate.py graph`
+/// re-checks from this stdout.
+#[must_use]
+pub fn render_extension_graph(executor: &dyn ScenarioExecutor) -> String {
+    use reach_graph::scenarios::{GRAPH_DEGREE, GRAPH_SCALES};
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXTENSION. GRAPH ANALYTICS (BFS + PageRank, avg degree {GRAPH_DEGREE}, \
+         scales {GRAPH_SCALES:?})"
+    );
+    for r in reach_graph::graph_sweep_with(executor) {
+        let _ = writeln!(s, "  {r}");
+    }
+    let _ = writeln!(
+        s,
+        "  -> the traversal kernels are gather-bound: near-memory wins once the\n\
+         \x20    frontier stops fitting the on-chip gather window, while the\n\
+         \x20    near-storage edge-list rescan pays the full list every level."
+    );
+    s
+}
+
+/// Renders the graph + CBIR co-run extension experiment: open-loop CBIR
+/// traffic served while PageRank batch jobs gather on the same near-memory
+/// level, with per-tenant admission ledgers, latency quantiles and the DDR
+/// / AIMbus contention gauges.
+#[must_use]
+pub fn render_extension_graph_corun(executor: &dyn ScenarioExecutor) -> String {
+    use reach_graph::co_run::{CORUN_OFFERED, CORUN_QUEUE_DEPTH};
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXTENSION. GRAPH + CBIR CO-RUN ({CORUN_OFFERED} offered query batches, \
+         admission queue depth {CORUN_QUEUE_DEPTH}, PageRank batch tenant near memory)"
+    );
+    for r in reach_graph::graph_corun_rows_with(executor) {
+        let _ = writeln!(s, "  {r}");
+    }
+    let _ = writeln!(
+        s,
+        "  -> the batch tenant's gathers hold near-memory slots the short-list\n\
+         \x20    stage needs: the p99 delta is the price of co-residency, and the\n\
+         \x20    contended-cycle gauges show where it was paid."
+    );
+    s
+}
+
 /// Renders the open-loop traffic-serving extension experiment: Poisson
 /// query-batch arrivals swept across rates at every placement behind a
 /// bounded admission queue, reporting admission/rejection counts and
@@ -519,6 +570,8 @@ pub fn renderers() -> Vec<Renderer> {
         // so new experiments must not reorder existing output.
         ("extension-fleet", render_extension_fleet),
         ("extension-traffic", render_extension_traffic),
+        ("extension-graph", render_extension_graph),
+        ("extension-graph-corun", render_extension_graph_corun),
     ]
 }
 

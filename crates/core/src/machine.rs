@@ -38,7 +38,7 @@ use crate::work::{DataAccess, TaskWork};
 use reach_accel::{Accelerator, AcceleratorId, ComputeLevel, TemplateRegistry};
 use reach_energy::{EnergyLedger, EnergyPresets, SystemComponent};
 use reach_gam::manager::{DmaId, Gam, GamAction};
-use reach_gam::{Job, JobId, TaskId};
+use reach_gam::{Job, JobId, TaskId, TenantLedger};
 use reach_mem::{
     AccessKind, AimBus, AimModule, MemoryController, Noc, NocConfig, NocPort, Tlb, TlbConfig,
 };
@@ -151,6 +151,11 @@ pub struct Machine {
     sym_transfer: Symbol,
     ns_cursor: u64,
     deferred: Vec<Option<DeferredJob>>,
+    /// Per-workload attribution for co-run scenarios; empty (and fully
+    /// skipped) unless [`Machine::declare_tenant`] was called.
+    tenants: TenantLedger,
+    /// Per-tenant end-to-end job latency, parallel to the ledger's tenants.
+    tenant_latency: Vec<LatencyHistogram>,
     trace: Option<Trace>,
     metrics: MachineMetrics,
     events_processed: u64,
@@ -251,6 +256,8 @@ impl Machine {
             sym_transfer: Symbol::intern("transfer"),
             ns_cursor: 0,
             deferred: Vec::new(),
+            tenants: TenantLedger::new(),
+            tenant_latency: Vec::new(),
             trace: None,
             metrics: MachineMetrics::new(),
             events_processed: 0,
@@ -263,6 +270,26 @@ impl Machine {
     fn install_gam(mut self, gam: Gam) -> Self {
         self.gam = gam;
         self
+    }
+
+    /// Declares a co-run tenant owning job ids `lo..hi`, so dispatches,
+    /// completions, rejections and end-to-end latency are attributed
+    /// per-workload (`tenant.<name>.*` in the metrics snapshot). A machine
+    /// with no declared tenants skips all attribution work.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or overlapping span (see
+    /// [`TenantLedger::declare`]).
+    pub fn declare_tenant(&mut self, name: &str, lo: u64, hi: u64) {
+        self.tenants.declare(name, lo, hi);
+        self.tenant_latency.push(LatencyHistogram::new());
+    }
+
+    /// The per-tenant ledger (empty unless [`Machine::declare_tenant`] ran).
+    #[must_use]
+    pub fn tenants(&self) -> &TenantLedger {
+        &self.tenants
     }
 
     /// The machine configuration.
@@ -496,6 +523,9 @@ impl Machine {
         for t in &job.tasks {
             self.tasks.remove(&t.id);
         }
+        if !self.tenants.is_empty() {
+            self.tenants.on_reject(job.id);
+        }
         self.gam.reject_job();
     }
 
@@ -506,6 +536,12 @@ impl Machine {
                 let latency = now.since(submitted);
                 self.job_latency.push(latency);
                 self.job_latency_hist.record(latency.as_ps());
+                if !self.tenants.is_empty() {
+                    if let Some(i) = self.tenants.index_of(*job) {
+                        self.tenant_latency[i].record(latency.as_ps());
+                    }
+                    self.tenants.on_complete(*job);
+                }
                 self.job_done.insert(*job, now);
             }
         }
@@ -537,10 +573,13 @@ impl Machine {
     // ----------------------------------------------------------------- //
 
     fn dispatch(&mut self, acc_id: AcceleratorId, task: TaskId) {
-        let (stage, macs, access, kernel_idx) = {
+        let (stage, macs, access, kernel_idx, job) = {
             let meta = &self.tasks[&task];
-            (meta.stage, meta.macs, meta.access, meta.kernel)
+            (meta.stage, meta.macs, meta.access, meta.kernel, meta.job)
         };
+        if !self.tenants.is_empty() {
+            self.tenants.on_dispatch(job);
+        }
         // Resolved to a registry index at submit time; `KernelSpec` is
         // `Copy`, so dispatch performs no lookup and no heap traffic.
         let kernel = *self.registry.spec_at(kernel_idx);
@@ -955,6 +994,22 @@ impl Machine {
         snap.set_counter("mem.aimbus.bytes", self.aimbus.bytes_transferred());
         snap.set_counter("mem.aimbus.busy_ps", self.aimbus.busy_time().as_ps());
 
+        // Contention gauges: time spent queued behind *other* traffic, the
+        // co-run scenarios' primary observable. Zero for solo workloads.
+        snap.set_counter(
+            "mem.ddr.host.contended_cycles",
+            self.host_mc.contended_cycles(),
+        );
+        snap.set_counter(
+            "mem.ddr.near_mem.contended_cycles",
+            self.nm_mc.contended_cycles(),
+        );
+        snap.set_counter(
+            "mem.ddr.contended_cycles",
+            self.host_mc.contended_cycles() + self.nm_mc.contended_cycles(),
+        );
+        snap.set_counter("mem.aimbus.queued_ps", self.aimbus.queued_time().as_ps());
+
         // Storage: the shared host IO interface and each near-storage unit.
         snap.set_counter(
             "storage.pcie.host.bytes",
@@ -1029,6 +1084,24 @@ impl Machine {
         stage_hists.sort_unstable_by_key(|&(name, _)| name);
         for (name, h) in stage_hists {
             quantiles(&mut snap, &format!("latency.stage.{name}"), h);
+        }
+
+        // Per-tenant attribution, only when a co-run scenario declared
+        // tenants — single-workload runs keep their exact metric schema.
+        for (i, (name, stats)) in self.tenants.iter().enumerate() {
+            snap.set_counter(&format!("tenant.{name}.dispatches"), stats.dispatches);
+            snap.set_counter(
+                &format!("tenant.{name}.jobs_completed"),
+                stats.jobs_completed,
+            );
+            snap.set_counter(&format!("tenant.{name}.jobs_rejected"), stats.jobs_rejected);
+            if self.tenant_latency[i].count() > 0 {
+                quantiles(
+                    &mut snap,
+                    &format!("tenant.{name}.latency"),
+                    &self.tenant_latency[i],
+                );
+            }
         }
 
         // Event-loop throughput counters (fed to the experiments stderr

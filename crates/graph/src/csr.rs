@@ -1,0 +1,343 @@
+//! Compressed-sparse-row graphs and their deterministic generators.
+//!
+//! The graph is the *data* side of the workload model: the simulated
+//! kernels' cost comes from the traversal shape (how many edges each BFS
+//! frontier scans, how many rank entries each PageRank iteration touches),
+//! and that shape is computed here, on the host, from a real CSR structure
+//! — not mocked. Everything derives from a [`GraphSpec`] through
+//! [`reach_sim::rng`] streams, so the same spec always yields the same
+//! graph, bit for bit, at any thread count.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which generator family a [`GraphSpec`] draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// Uniform random: every edge's endpoints drawn independently.
+    Uniform,
+    /// RMAT-style skewed: recursive quadrant descent with the canonical
+    /// (0.57, 0.19, 0.19, 0.05) probabilities, yielding the power-law
+    /// degree distribution real web/social graphs show.
+    Rmat,
+    /// A small fixed graph with a hand-checkable BFS tree (see
+    /// [`Graph::golden`]); `nodes`, `avg_degree` and `seed` are ignored.
+    Golden,
+}
+
+impl GraphKind {
+    /// Stable lower-case name for labels and fingerprints.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Uniform => "uniform",
+            GraphKind::Rmat => "rmat",
+            GraphKind::Golden => "golden",
+        }
+    }
+}
+
+/// Everything that determines a generated graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GraphSpec {
+    /// Node count (rounded up to a power of two internally by the RMAT
+    /// quadrant descent; stored counts are exact).
+    pub nodes: u32,
+    /// Average out-degree: the generator draws `nodes * avg_degree` edges.
+    pub avg_degree: u32,
+    /// Generator family.
+    pub kind: GraphKind,
+    /// Seed for the generator's RNG stream.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// Builds the graph this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `avg_degree` is zero for a generated kind.
+    #[must_use]
+    pub fn build(&self) -> Graph {
+        match self.kind {
+            GraphKind::Uniform => Graph::from_edges(
+                self.nodes,
+                &uniform_edges(self.nodes, self.avg_degree, self.seed),
+            ),
+            GraphKind::Rmat => Graph::from_edges(
+                self.nodes,
+                &rmat_edges(self.nodes, self.avg_degree, self.seed),
+            ),
+            GraphKind::Golden => Graph::golden(),
+        }
+    }
+
+    /// Stable label, e.g. `rmat/4096`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self.kind {
+            GraphKind::Golden => "golden".to_string(),
+            _ => format!("{}/{}", self.kind.name(), self.nodes),
+        }
+    }
+}
+
+/// The generator's raw output: a directed edge list.
+fn uniform_edges(nodes: u32, avg_degree: u32, seed: u64) -> Vec<(u32, u32)> {
+    assert!(
+        nodes > 1 && avg_degree > 0,
+        "uniform_edges: degenerate graph"
+    );
+    let mut rng = reach_sim::rng::derived(seed, "graph-uniform");
+    let count = nodes as usize * avg_degree as usize;
+    let mut edges = Vec::with_capacity(count);
+    while edges.len() < count {
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// One RMAT endpoint pair: descend `log2(n)` quadrant levels with the
+/// canonical skew (a=0.57, b=0.19, c=0.19, d=0.05).
+fn rmat_edge(rng: &mut StdRng, levels: u32) -> (u32, u32) {
+    let (mut u, mut v) = (0u32, 0u32);
+    for _ in 0..levels {
+        u <<= 1;
+        v <<= 1;
+        let p: f64 = rng.gen_range(0.0..1.0);
+        if p < 0.57 {
+            // quadrant a: (0, 0)
+        } else if p < 0.76 {
+            v |= 1; // quadrant b: (0, 1)
+        } else if p < 0.95 {
+            u |= 1; // quadrant c: (1, 0)
+        } else {
+            u |= 1;
+            v |= 1; // quadrant d: (1, 1)
+        }
+    }
+    (u, v)
+}
+
+fn rmat_edges(nodes: u32, avg_degree: u32, seed: u64) -> Vec<(u32, u32)> {
+    assert!(nodes > 1 && avg_degree > 0, "rmat_edges: degenerate graph");
+    let mut rng = reach_sim::rng::derived(seed, "graph-rmat");
+    let levels = 32 - (nodes - 1).leading_zeros().min(31);
+    let count = nodes as usize * avg_degree as usize;
+    let mut edges = Vec::with_capacity(count);
+    while edges.len() < count {
+        let (u, v) = rmat_edge(&mut rng, levels);
+        // The quadrant descent covers the power-of-two closure of the node
+        // range; resample anything past the requested count (and loops).
+        if u < nodes && v < nodes && u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// # Example
+///
+/// ```
+/// use reach_graph::Graph;
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(1), &[2]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    nodes: u32,
+    row_ptr: Vec<u32>,
+    col: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the CSR from a directed edge list (duplicates kept — a
+    /// multigraph stays a multigraph, which is what makes the round trip
+    /// through [`Graph::edges`] exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    #[must_use]
+    pub fn from_edges(nodes: u32, edges: &[(u32, u32)]) -> Self {
+        let n = nodes as usize;
+        let mut degree = vec![0u32; n];
+        for &(u, v) in edges {
+            assert!(
+                u < nodes && v < nodes,
+                "Graph::from_edges: endpoint {u}->{v} out of range"
+            );
+            degree[u as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        row_ptr.push(0);
+        for &d in &degree {
+            acc += d;
+            row_ptr.push(acc);
+        }
+        let mut cursor: Vec<u32> = row_ptr[..n].to_vec();
+        let mut col = vec![0u32; edges.len()];
+        for &(u, v) in edges {
+            let c = &mut cursor[u as usize];
+            col[*c as usize] = v;
+            *c += 1;
+        }
+        // Sort each row so equal edge *sets* yield equal CSRs regardless of
+        // the generator's emission order.
+        for u in 0..n {
+            col[row_ptr[u] as usize..row_ptr[u + 1] as usize].sort_unstable();
+        }
+        Graph {
+            nodes,
+            row_ptr,
+            col,
+        }
+    }
+
+    /// The fixed golden graph: 8 nodes, a two-level tree plus a back edge
+    /// and a cross edge, with BFS levels from node 0 of
+    /// `[0, 1, 1, 2, 2, 2, 3, unreachable]`.
+    #[must_use]
+    pub fn golden() -> Self {
+        Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (5, 6),
+                (6, 2), // back edge
+                (3, 5), // cross edge
+            ],
+        )
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Directed edge count.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.col.len() as u64
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn out_degree(&self, u: u32) -> u32 {
+        self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]
+    }
+
+    /// Out-neighbors of `u`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.col[self.row_ptr[u as usize] as usize..self.row_ptr[u as usize + 1] as usize]
+    }
+
+    /// Reconstructs the edge list, sorted by `(source, destination)` —
+    /// exactly the generator's edge multiset.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.col.len());
+        for u in 0..self.nodes {
+            for &v in self.neighbors(u) {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_graph_shape() {
+        let g = Graph::golden();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.out_degree(7), 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in [GraphKind::Uniform, GraphKind::Rmat] {
+            let spec = GraphSpec {
+                nodes: 256,
+                avg_degree: 4,
+                kind,
+                seed: 42,
+            };
+            assert_eq!(spec.build(), spec.build(), "{kind:?} not reproducible");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_graph() {
+        let a = GraphSpec {
+            nodes: 256,
+            avg_degree: 4,
+            kind: GraphKind::Uniform,
+            seed: 1,
+        };
+        let b = GraphSpec { seed: 2, ..a };
+        assert_ne!(a.build(), b.build());
+    }
+
+    #[test]
+    fn generated_edge_counts_are_exact() {
+        for kind in [GraphKind::Uniform, GraphKind::Rmat] {
+            let g = GraphSpec {
+                nodes: 512,
+                avg_degree: 8,
+                kind,
+                seed: 7,
+            }
+            .build();
+            assert_eq!(g.edge_count(), 512 * 8, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed_uniform_is_not() {
+        let max_deg = |kind| {
+            let g = GraphSpec {
+                nodes: 1024,
+                avg_degree: 8,
+                kind,
+                seed: 3,
+            }
+            .build();
+            (0..1024).map(|u| g.out_degree(u)).max().unwrap()
+        };
+        let rmat = max_deg(GraphKind::Rmat);
+        let uniform = max_deg(GraphKind::Uniform);
+        assert!(
+            rmat > 2 * uniform,
+            "RMAT hub degree {rmat} not clearly above uniform max {uniform}"
+        );
+    }
+}

@@ -45,6 +45,7 @@ pub enum DimmOwner {
 #[derive(Debug)]
 pub struct AimBus {
     link: BandwidthResource,
+    queued: SimDuration,
 }
 
 impl AimBus {
@@ -53,6 +54,7 @@ impl AimBus {
     pub fn new(bandwidth: Bandwidth, latency: SimDuration) -> Self {
         AimBus {
             link: BandwidthResource::new(bandwidth, latency),
+            queued: SimDuration::ZERO,
         }
     }
 
@@ -66,7 +68,9 @@ impl AimBus {
 
     /// Moves `bytes` between two AIM modules.
     pub fn transfer(&mut self, now: SimTime, bytes: u64) -> Reservation {
-        self.link.transfer(now, bytes)
+        let r = self.link.transfer(now, bytes);
+        self.queued += r.queueing(now);
+        r
     }
 
     /// Total bytes carried (for interconnect energy).
@@ -79,6 +83,14 @@ impl AimBus {
     #[must_use]
     pub fn busy_time(&self) -> SimDuration {
         self.link.busy_time()
+    }
+
+    /// Total time transfers waited behind earlier traffic before reaching
+    /// the wire — the `aimbus.queued_ps` telemetry gauge. Zero while one
+    /// workload has the bus to itself; co-running gather kernels grow it.
+    #[must_use]
+    pub fn queued_time(&self) -> SimDuration {
+        self.queued
     }
 }
 
@@ -310,6 +322,18 @@ mod tests {
         let b = bus.transfer(SimTime::ZERO, 1 << 20);
         assert_eq!(b.start, a.ready);
         assert_eq!(bus.bytes_transferred(), 2 << 20);
+    }
+
+    #[test]
+    fn aimbus_queued_time_counts_only_waiting() {
+        let mut bus = AimBus::paper_default();
+        let a = bus.transfer(SimTime::ZERO, 1 << 20);
+        // The first transfer hit an idle bus: nothing queued yet.
+        assert_eq!(bus.queued_time(), SimDuration::ZERO);
+        let b = bus.transfer(SimTime::ZERO, 1 << 20);
+        // The second waited for the first's wire time exactly.
+        assert_eq!(bus.queued_time(), b.start.since(SimTime::ZERO));
+        assert_eq!(b.start, a.ready);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ChannelStats {
     /// Bytes that crossed this channel (host-side traffic only; AIM-local
     /// accesses bypass the channel).
     pub bytes: u64,
+    /// Time requests spent queued behind other traffic for this channel's
+    /// bus — the FCFS half of the FR-FCFS approximation made visible. Zero
+    /// on an uncontended channel; co-running workloads grow it.
+    pub contended: SimDuration,
 }
 
 struct Channel {
@@ -172,8 +176,10 @@ impl MemoryController {
         let channel = &mut self.channels[ch];
         let dram = channel.dimms[slot].access(now, local, kind, RowPolicy::OpenPage);
         // The burst also crosses the channel bus.
-        let bus = channel.bus.reserve(dram.complete - burst, burst);
+        let issued = dram.complete - burst;
+        let bus = channel.bus.reserve(issued, burst);
         channel.stats.bytes += line;
+        channel.stats.contended += bus.queueing(issued);
         Reservation {
             start: dram.start,
             ready: bus.ready,
@@ -213,6 +219,7 @@ impl MemoryController {
                     let channel = &mut self.channels[ch];
                     let bus = channel.bus.reserve(now, bus_time);
                     channel.stats.bytes += per_channel;
+                    channel.stats.contended += bus.queueing(now);
                     for slot in 0..self.config.dimms_per_channel {
                         let local = (addr / n).min(self.config.dimm.capacity - share);
                         let r = channel.dimms[slot].stream(
@@ -243,6 +250,7 @@ impl MemoryController {
                     let channel = &mut self.channels[ch];
                     let bus = channel.bus.reserve(now, bus_time);
                     channel.stats.bytes += in_tile;
+                    channel.stats.contended += bus.queueing(now);
                     let r =
                         channel.dimms[slot].stream(now, local, in_tile, kind, RowPolicy::OpenPage);
                     start = start.min(r.start);
@@ -300,6 +308,33 @@ impl MemoryController {
     #[must_use]
     pub fn channel_busy(&self, ch: usize) -> SimDuration {
         self.channels[ch].bus.busy_time()
+    }
+
+    /// Time requests queued behind other traffic for channel `ch`'s bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` is out of range.
+    #[must_use]
+    pub fn channel_contended(&self, ch: usize) -> SimDuration {
+        self.channels[ch].stats.contended
+    }
+
+    /// Bus queueing time summed over all channels.
+    #[must_use]
+    pub fn total_contended(&self) -> SimDuration {
+        self.channels
+            .iter()
+            .fold(SimDuration::ZERO, |acc, c| acc + c.stats.contended)
+    }
+
+    /// [`MemoryController::total_contended`] expressed in IO-clock cycles of
+    /// this controller's DIMMs (DDR4-2400: 1200 MHz), rounded down — the
+    /// `ddr.contended_cycles` telemetry gauge.
+    #[must_use]
+    pub fn contended_cycles(&self) -> u64 {
+        let cycle = self.config.dimm.timing.io_clock.cycles(1).as_ps();
+        self.total_contended().as_ps() / cycle
     }
 
     /// Aggregate DRAM statistics over all DIMMs.
@@ -423,6 +458,30 @@ mod tests {
         assert_eq!(s.bytes, 1 << 20);
         assert!(s.activations > 0);
         assert_eq!(s.read_bursts, (1 << 20) / 64);
+    }
+
+    #[test]
+    fn uncontended_access_records_no_queueing() {
+        let mut m = mc();
+        m.access_line(SimTime::ZERO, 0, AccessKind::Read);
+        assert_eq!(m.total_contended(), SimDuration::ZERO);
+        assert_eq!(m.contended_cycles(), 0);
+    }
+
+    #[test]
+    fn concurrent_streams_accumulate_contended_time() {
+        let mut m = mc();
+        let bytes: u64 = 64 << 20;
+        m.stream(SimTime::ZERO, 0, bytes, AccessKind::Read);
+        m.stream(SimTime::ZERO, 1 << 30, bytes, AccessKind::Read);
+        // The second stream found both channel buses busy, so it queued for
+        // roughly the first stream's wire time.
+        assert!(m.total_contended() > SimDuration::ZERO);
+        assert!(m.contended_cycles() > 0);
+        assert_eq!(
+            m.total_contended(),
+            m.channel_contended(0) + m.channel_contended(1)
+        );
     }
 
     #[test]

@@ -86,6 +86,44 @@ fn rendered_figures_match_across_job_counts() {
     }
 }
 
+#[test]
+fn graph_suites_render_byte_identically_across_jobs_and_cache_modes() {
+    // The in-process form of CI's graph determinism step: the placement
+    // sweep and the co-run contention suite must render the same bytes
+    // sequentially, at 1/4/8 workers, with the result cache disabled, and
+    // on a warm cache replay.
+    for (name, render) in [
+        (
+            "extension-graph",
+            reach_bench::render_extension_graph as fn(&dyn ScenarioExecutor) -> String,
+        ),
+        (
+            "extension-graph-corun",
+            reach_bench::render_extension_graph_corun,
+        ),
+    ] {
+        let reference = render(&SequentialExecutor);
+        assert!(!reference.is_empty());
+        for jobs in [1, 4, 8] {
+            assert_eq!(
+                reference,
+                render(&ScenarioRunner::new(jobs)),
+                "{name} diverged at {jobs} jobs"
+            );
+            assert_eq!(
+                reference,
+                render(&ScenarioRunner::without_cache(jobs)),
+                "{name} diverged with the cache off at {jobs} jobs"
+            );
+        }
+        let runner = ScenarioRunner::new(4);
+        let cold = render(&runner);
+        let warm = render(&runner);
+        assert_eq!(cold, warm, "{name} warm cache replay diverged");
+        assert_eq!(reference, warm, "{name} cached pass diverged");
+    }
+}
+
 /// Every renderer's output, concatenated in registration order — the exact
 /// stdout the `experiments` binary produces for a full run.
 fn full_suite_stdout(executor: &dyn ScenarioExecutor) -> String {
@@ -101,9 +139,10 @@ fn full_suite_stdout(executor: &dyn ScenarioExecutor) -> String {
 
 #[test]
 fn full_suite_stdout_is_byte_identical_at_jobs_1_4_8() {
-    // The whole experiments suite — all 21 experiments, 126 scenarios —
-    // diffed across --jobs levels. Any scheduling leak anywhere in the
-    // engine, the runner or the kernels shows up here.
+    // The whole experiments suite — every registered renderer, including
+    // the graph and co-run extensions — diffed across --jobs levels. Any
+    // scheduling leak anywhere in the engine, the runner or the kernels
+    // shows up here.
     let reference = full_suite_stdout(&SequentialExecutor);
     assert!(!reference.is_empty());
     for jobs in [4, 8] {
